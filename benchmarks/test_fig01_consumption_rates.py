@@ -1,0 +1,24 @@
+"""Figure 1: token consumption speeds by age group and language."""
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import render_table
+from repro.client.rates import rate_table_rows
+
+
+def build_tables():
+    reading = rate_table_rows("reading")
+    listening = rate_table_rows("listening")
+    return reading, listening
+
+
+def test_fig01_consumption_rates(benchmark):
+    reading, listening = benchmark.pedantic(build_tables, rounds=1, iterations=1)
+    emit(render_table(["language", "age", "tokens/s"], reading,
+                      title="Fig. 1 (left): reading consumption speeds"))
+    emit(render_table(["language", "age", "tokens/s"], listening,
+                      title="Fig. 1 (right): listening consumption speeds"))
+    # Shape: consumption far below LLM generation speeds, peaking in
+    # young adults for reading.
+    assert max(rate for _, _, rate in reading) < 12.0
+    english = {age: rate for lang, age, rate in reading if lang == "english"}
+    assert english["18-25"] == max(english.values())

@@ -1,0 +1,22 @@
+"""Figure 2: SGLang burst micro-benchmark (TTFT and speed vs load)."""
+
+from benchmarks.conftest import emit
+from repro.experiments.micro import (
+    READING_SPEED_2X,
+    TTFT_TARGET_S,
+    render_burst_sweep,
+    run_burst_sweep,
+)
+
+
+def test_fig02_sglang_burst(benchmark):
+    points = benchmark.pedantic(
+        lambda: run_burst_sweep(loads=(0.25, 0.5, 0.75, 1.0), full_burst=120),
+        rounds=1, iterations=1,
+    )
+    emit(render_burst_sweep(points))
+    # Fig. 2 left: TTFT explodes past the 1.3 s threshold at full load.
+    assert points[-1].ttft_p99 > TTFT_TARGET_S
+    assert points[-1].ttft_p99 > points[0].ttft_p99
+    # Fig. 2 right: generation speed stays far above reading speed.
+    assert all(p.gen_speed_mean > READING_SPEED_2X for p in points)

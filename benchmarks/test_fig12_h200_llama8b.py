@@ -1,0 +1,28 @@
+"""Figure 12: end-to-end metrics on H200 with Llama3-8B."""
+
+from benchmarks.conftest import emit
+from repro.experiments.endtoend import (
+    improvement_summary,
+    render_endtoend,
+    run_endtoend,
+)
+
+SYSTEMS = ("sglang", "sglang-chunked", "andes", "tokenflow")
+
+
+def test_fig12_h200_llama8b(benchmark):
+    reports = benchmark.pedantic(
+        lambda: run_endtoend(
+            "h200-llama3-8b", trace="burstgpt", systems=SYSTEMS,
+            duration=60.0, scale=1.0,
+        ),
+        rounds=1, iterations=1,
+    )
+    emit(render_endtoend("h200-llama3-8b", "burstgpt", reports))
+    summary = improvement_summary(reports)
+    emit(f"tokenflow vs sglang: {summary}")
+    # Shape: TokenFlow improves effective throughput and TTFT while
+    # keeping raw throughput comparable.
+    assert summary["effective_throughput_gain"] > 0.0
+    assert summary["ttft_mean_reduction"] > 0.0
+    assert summary["throughput_ratio"] > 0.8

@@ -1,0 +1,26 @@
+"""Figure 13: end-to-end metrics on A6000 with Qwen2.5-7B."""
+
+from benchmarks.conftest import emit
+from repro.experiments.endtoend import (
+    improvement_summary,
+    render_endtoend,
+    run_endtoend,
+)
+
+SYSTEMS = ("sglang", "sglang-chunked", "andes", "tokenflow")
+
+
+def test_fig13_a6000_qwen(benchmark):
+    reports = benchmark.pedantic(
+        lambda: run_endtoend(
+            "a6000-qwen2.5-7b", trace="burstgpt", systems=SYSTEMS,
+            duration=60.0, scale=1.0,
+        ),
+        rounds=1, iterations=1,
+    )
+    emit(render_endtoend("a6000-qwen2.5-7b", "burstgpt", reports))
+    summary = improvement_summary(reports)
+    emit(f"tokenflow vs sglang: {summary}")
+    assert summary["effective_throughput_gain"] > 0.0
+    assert summary["ttft_mean_reduction"] > 0.0
+    assert summary["throughput_ratio"] > 0.8

@@ -1,0 +1,20 @@
+"""Figure 14: queued requests over time under a stress trace."""
+
+from benchmarks.conftest import emit
+from repro.experiments.temporal import render_temporal, run_temporal
+
+SYSTEMS = ("sglang", "andes", "tokenflow")
+
+
+def test_fig14_queued_timeline(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_temporal(
+            systems=SYSTEMS, duration=80.0, base_rate=2.0,
+            bin_s=10.0, max_batch=32,
+        ),
+        rounds=1, iterations=1,
+    )
+    emit(render_temporal(results, metric="queued"))
+    # Shape: TokenFlow keeps fewer requests queued at peak than SGLang.
+    assert results["sglang"]["peak_queued"] > 1.0
+    assert results["tokenflow"]["peak_queued"] < results["sglang"]["peak_queued"]

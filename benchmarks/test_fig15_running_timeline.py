@@ -1,0 +1,23 @@
+"""Figure 15: running (concurrent) requests over time."""
+
+from benchmarks.conftest import emit
+from repro.experiments.temporal import render_temporal, run_temporal
+
+SYSTEMS = ("sglang", "andes", "tokenflow")
+
+
+def test_fig15_running_timeline(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_temporal(
+            systems=SYSTEMS, duration=80.0, base_rate=2.0,
+            bin_s=10.0, max_batch=32, seed=1,
+        ),
+        rounds=1, iterations=1,
+    )
+    emit(render_temporal(results, metric="running"))
+    # Shape: TokenFlow sustains at least the baseline's concurrency
+    # (higher parallelism under peak load is its design goal).
+    assert (
+        results["tokenflow"]["mean_running"]
+        >= 0.9 * results["sglang"]["mean_running"]
+    )

@@ -1,0 +1,37 @@
+"""Figure 17: performance metrics during Poisson workloads.
+
+Runs Table 1 setups (c) and (d) on both GPUs across all four systems.
+Setup (c) is moderate load, (d) heavy load; TokenFlow's advantages
+concentrate where queueing pressure exists (the paper's "under heavy
+load" observation).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.controlled import render_controlled, run_controlled
+
+SYSTEMS = ("sglang", "sglang-chunked", "andes", "tokenflow")
+SETUPS = [("rtx4090", "c"), ("rtx4090", "d"), ("h200", "c"), ("h200", "d")]
+SCALE = {"rtx4090": 0.5, "h200": 0.5}
+
+
+@pytest.mark.parametrize("gpu,key", SETUPS)
+def test_fig17_poisson_workloads(benchmark, gpu, key):
+    reports = benchmark.pedantic(
+        lambda: run_controlled(gpu, key, systems=SYSTEMS, scale=SCALE[gpu]),
+        rounds=1, iterations=1,
+    )
+    emit(render_controlled(gpu, key, reports))
+    tokenflow, sglang = reports["tokenflow"], reports["sglang"]
+    assert tokenflow.throughput > 0.75 * sglang.throughput
+    if sglang.ttft_p99 > 1.5:
+        # Queueing regime: TokenFlow must deliver both latency and
+        # effective-throughput wins (paper: +82.5% eff, -53.7% TTFT).
+        assert tokenflow.ttft_p99 < 0.7 * sglang.ttft_p99
+        assert tokenflow.effective_throughput > sglang.effective_throughput
+    else:
+        # Unpressured regime: FCFS is already fine; TokenFlow must not
+        # regress anything materially.
+        assert tokenflow.ttft_p99 < sglang.ttft_p99 + 1.0
+        assert tokenflow.effective_throughput > 0.9 * sglang.effective_throughput

@@ -1,0 +1,22 @@
+"""Figure 18: token generation timelines, SGLang vs TokenFlow."""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.experiments.timeline import render_timelines, run_timelines
+
+
+def test_fig18_token_timeline(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_timelines(n_requests=10, max_batch=3),
+        rounds=1, iterations=1,
+    )
+    emit(render_timelines(results))
+    sglang = np.mean([v for v in results["sglang"].ttfts.values()])
+    tokenflow = np.mean([v for v in results["tokenflow"].ttfts.values()])
+    # Shape: TokenFlow starts every stream earlier (no head-of-line
+    # blocking); later requests especially.
+    assert tokenflow < sglang
+    worst_sglang = max(results["sglang"].ttfts.values())
+    worst_tokenflow = max(results["tokenflow"].ttfts.values())
+    assert worst_tokenflow < worst_sglang

@@ -1,0 +1,26 @@
+"""Figure 21: performance on Huawei Ascend 910B."""
+
+from benchmarks.conftest import emit
+from repro.experiments.endtoend import (
+    improvement_summary,
+    render_endtoend,
+    run_endtoend,
+)
+
+SYSTEMS = ("sglang", "andes", "tokenflow")
+
+
+def test_fig21_ascend(benchmark):
+    reports = benchmark.pedantic(
+        lambda: run_endtoend(
+            "ascend910b-llama3-8b", trace="burstgpt", systems=SYSTEMS,
+            duration=60.0, scale=1.0,
+        ),
+        rounds=1, iterations=1,
+    )
+    emit(render_endtoend("ascend910b-llama3-8b", "burstgpt", reports))
+    summary = improvement_summary(reports)
+    emit(f"tokenflow vs sglang on ascend-910b: {summary}")
+    # Shape: the design carries to the different hardware point.
+    assert summary["effective_throughput_gain"] > 0.0
+    assert summary["ttft_mean_reduction"] > 0.0

@@ -1,0 +1,17 @@
+"""Figure 22: impact of the rescheduling interval Δt."""
+
+from benchmarks.conftest import emit
+from repro.experiments.sensitivity import render_sensitivity, run_interval_sweep
+
+
+def test_fig22_interval_sweep(benchmark):
+    points = benchmark.pedantic(
+        lambda: run_interval_sweep(intervals=(0.5, 1.0, 1.5), n_requests=100),
+        rounds=1, iterations=1,
+    )
+    emit(render_sensitivity(points, knob="dt(s)"))
+    # Shape (paper): shorter intervals marginally improve effective
+    # throughput / responsiveness; all settings remain functional.
+    shortest, longest = points[0], points[-1]
+    assert shortest.effective_throughput >= 0.9 * longest.effective_throughput
+    assert all(p.ttft_p99 < 60.0 for p in points)

@@ -1,0 +1,20 @@
+"""Figure 23: impact of buffer conservativeness (μ) on behaviour."""
+
+from benchmarks.conftest import emit
+from repro.experiments.sensitivity import (
+    render_sensitivity,
+    run_conservativeness_sweep,
+)
+
+
+def test_fig23_conservativeness(benchmark):
+    points = benchmark.pedantic(
+        lambda: run_conservativeness_sweep(mus=(1.0, 20.0), n_requests=100),
+        rounds=1, iterations=1,
+    )
+    emit(render_sensitivity(points, knob="mu"))
+    aggressive, cautious = points
+    # Shape (paper): high mu behaves cautiously, SGLang-like — fewer
+    # preemption cycles; low mu adapts aggressively.
+    assert cautious.preemptions <= aggressive.preemptions
+    assert aggressive.effective_throughput > 0

@@ -1,0 +1,20 @@
+"""§7.6: scheduling-pass overhead quantification."""
+
+from benchmarks.conftest import emit
+from repro.experiments.overhead import measure_overhead, render_overhead
+
+
+def test_overhead_scheduling(benchmark):
+    results = benchmark.pedantic(
+        lambda: measure_overhead(
+            systems=("sglang", "andes", "tokenflow"), n_requests=120, repeats=30
+        ),
+        rounds=1, iterations=1,
+    )
+    emit(render_overhead(results))
+    by_name = {r.system: r for r in results}
+    # Shape (paper: ~0.07 ms SGLang, ~0.4 ms TokenFlow): TokenFlow's
+    # pass costs more than FCFS but stays negligible next to a decode
+    # iteration (several ms).
+    assert by_name["tokenflow"].pass_ms_mean < 20.0
+    assert by_name["sglang"].pass_ms_mean < by_name["tokenflow"].pass_ms_mean * 100

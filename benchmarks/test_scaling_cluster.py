@@ -1,0 +1,24 @@
+"""§8 extension: cluster scale-out under a flash crowd.
+
+Not a paper figure — the paper's §8 sketches multi-node TokenFlow as
+future work; this bench exercises our dispatcher-based implementation
+and checks burst absorption scales with node count.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.scaling import render_scaling, run_cluster_scaling
+
+
+def test_scaling_cluster(benchmark):
+    points = benchmark.pedantic(
+        lambda: run_cluster_scaling(node_counts=(1, 2, 4), n_requests=96),
+        rounds=1, iterations=1,
+    )
+    emit(render_scaling(points))
+    by_nodes = {p.n_instances: p for p in points}
+    # Shape: more nodes absorb the burst better on every axis.
+    assert by_nodes[2].ttft_p99 < by_nodes[1].ttft_p99
+    assert by_nodes[4].ttft_p99 <= by_nodes[2].ttft_p99
+    assert by_nodes[4].throughput > by_nodes[1].throughput
+    # The dispatcher keeps placement roughly even.
+    assert all(p.placement_spread < 2.0 for p in points)

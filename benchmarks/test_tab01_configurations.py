@@ -1,0 +1,32 @@
+"""Table 1: controlled request-distribution configurations."""
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import render_table
+from repro.experiments.controlled import TABLE1, build_workload
+
+
+def materialise():
+    rows = []
+    for (gpu, key), setup in sorted(TABLE1.items()):
+        requests = build_workload(setup, scale=0.1, seed=0)
+        rows.append(
+            [
+                gpu, key, setup.arrival,
+                setup.burst_size or f"λ={setup.poisson_rate}",
+                setup.length_regime,
+                len(requests),
+            ]
+        )
+    return rows
+
+
+def test_tab01_configurations(benchmark):
+    rows = benchmark.pedantic(materialise, rounds=1, iterations=1)
+    emit(render_table(
+        ["gpu", "setup", "arrival", "size", "lengths", "n@scale0.1"],
+        rows, title="Table 1: controlled configurations",
+    ))
+    assert len(rows) == 8
+    # The H200 burst (a) is the largest configured burst.
+    h200_a = next(r for r in rows if r[0] == "h200" and r[1] == "a")
+    assert h200_a[3] == 400

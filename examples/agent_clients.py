@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Mixed user + agent serving with adaptive reference rates (§8).
+
+Interactive users declare hard consumption rates the scheduler must
+sustain.  Agent clients (LLM pipelines, tool chains) instead carry a
+*reference rate* used purely as a priority signal: the adaptive
+controller raises it when the GPU is idle — agents soak up spare
+capacity — and throttles it the moment an interactive burst arrives,
+so users keep their latency targets.
+
+The script serves a steady agent workload, injects a user flash crowd
+mid-run, and shows (a) users staying stall-free through the burst and
+(b) the agents' reference rates backing off and recovering.
+
+Run:
+    python examples/agent_clients.py
+"""
+
+from repro import (
+    RngStreams,
+    ServingConfig,
+    ServingSystem,
+    TokenFlowScheduler,
+)
+from repro.analysis.tables import render_table
+from repro.client.adaptive import AdaptiveRateController, AdaptiveRateParams
+from repro.workload.request import Request
+
+
+def build_workload() -> list:
+    rng = RngStreams(0).stream("lengths")
+    requests = []
+    # 8 long-running agent requests from t=0 at a low reference rate.
+    for idx in range(8):
+        requests.append(Request(
+            req_id=idx, arrival_time=0.0,
+            prompt_len=int(rng.integers(200, 400)),
+            output_len=6000, rate=5.0, is_agent=True,
+        ))
+    # A 24-request interactive burst at t=10 s, 10-tok/s readers.
+    for idx in range(24):
+        requests.append(Request(
+            req_id=100 + idx, arrival_time=10.0,
+            prompt_len=int(rng.integers(300, 700)),
+            output_len=int(rng.integers(400, 800)),
+            rate=10.0, is_agent=False,
+        ))
+    return requests
+
+
+def main() -> None:
+    config = ServingConfig(hardware="h200", model="llama3-8b",
+                           mem_frac=0.05, max_batch=24)
+    controller = AdaptiveRateController(AdaptiveRateParams(
+        min_rate=5.0, max_rate=40.0, increase_step=2.0, decrease_factor=0.5,
+    ))
+    system = ServingSystem(config, TokenFlowScheduler(),
+                           rate_controller=controller)
+    system.submit(build_workload())
+
+    # Sample agent reference rates as the run progresses.
+    samples = []
+    for checkpoint in (5.0, 11.0, 15.0, 30.0, 60.0, 120.0):
+        system.run(until=checkpoint)
+        agents = [e.request for e in system.tracker.entries()
+                  if e.request.is_agent and not e.request.is_finished]
+        if agents:
+            mean_rate = sum(r.rate for r in agents) / len(agents)
+            samples.append([checkpoint, round(mean_rate, 1), len(system.waiting)])
+    system.run(until=50_000.0)
+
+    print(render_table(
+        ["t(s)", "mean agent ref-rate (tok/s)", "users waiting"],
+        samples,
+        title="Agent reference rates back off during the user burst",
+    ))
+
+    report = system.report()
+    users = [m for m in report.per_request if m.req_id >= 100]
+    agents = [m for m in report.per_request if m.req_id < 100]
+    print()
+    print(render_table(
+        ["class", "n", "mean TTFT (s)", "total stall (s)"],
+        [
+            ["users", len(users),
+             round(sum(m.ttft for m in users) / len(users), 2),
+             round(sum(m.stall_time for m in users), 2)],
+            ["agents", len(agents),
+             round(sum(m.ttft for m in agents) / len(agents), 2),
+             "n/a (reference rate)"],
+        ],
+        title="Outcome: users protected through the burst",
+    ))
+    print(f"\ncontroller applied {controller.adjustments} rate adjustments; "
+          f"{report.preemptions} preemption cycles")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Trace replay: BurstGPT-like and production-shaped workloads.
+
+Replays a synthesized BurstGPT-style trace (steady traffic + flash
+crowd episodes) through SGLang and TokenFlow and prints the temporal
+queue dynamics the paper's Figs. 14/15 plot: queued requests spike
+under FCFS during bursts while TokenFlow absorbs them by preempting
+buffered streams.
+
+Run:
+    python examples/trace_replay.py
+"""
+
+from repro.analysis.tables import render_table
+from repro.experiments.endtoend import (
+    improvement_summary,
+    render_endtoend,
+    run_endtoend,
+)
+from repro.experiments.runner import clone_requests
+from repro.experiments.systems import build_system
+from repro.experiments.endtoend import build_trace_workload
+from repro.experiments.temporal import binned_timeline
+
+
+def main() -> None:
+    testbed = "h200-llama3-8b"
+    print("End-to-end comparison on the BurstGPT-like trace...")
+    reports = run_endtoend(
+        testbed, trace="burstgpt",
+        systems=("sglang", "andes", "tokenflow"), duration=60.0,
+    )
+    print(render_endtoend(testbed, "burstgpt", reports))
+    summary = improvement_summary(reports)
+    print("\nTokenFlow vs SGLang:",
+          {k: round(v, 3) for k, v in summary.items()}, "\n")
+
+    print("Temporal queue dynamics (Figs. 14/15 style)...")
+    requests = build_trace_workload(testbed, trace="burstgpt", duration=60.0)
+    rows = []
+    series = {}
+    for name in ("sglang", "tokenflow"):
+        system = build_system(
+            name, hardware="h200", model="llama3-8b", mem_frac=0.1, max_batch=64
+        )
+        system.submit(clone_requests(requests))
+        system.run(until=50_000.0)
+        series[name] = binned_timeline(system.timeline, bin_s=10.0,
+                                       horizon=system.makespan())
+    length = min(len(series[n]["t"]) for n in series)
+    for idx in range(length):
+        rows.append([
+            round(float(series["sglang"]["t"][idx]), 0),
+            round(float(series["sglang"]["queued"][idx]), 1),
+            round(float(series["tokenflow"]["queued"][idx]), 1),
+            round(float(series["sglang"]["running"][idx]), 1),
+            round(float(series["tokenflow"]["running"][idx]), 1),
+        ])
+    print(render_table(
+        ["t(s)", "queued:sglang", "queued:tokenflow",
+         "running:sglang", "running:tokenflow"],
+        rows,
+        title="Queued / running requests over time",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""TokenFlow (EuroSys '26) reproduction.
+
+A discrete-event reproduction of *TokenFlow: Responsive LLM Text
+Streaming Serving under Request Burst via Preemptive Scheduling*:
+buffer-aware preemptive scheduling plus hierarchical GPU/CPU KV-cache
+management, evaluated against SGLang-style FCFS and an Andes-like
+QoE scheduler on a roofline GPU serving simulator.
+
+Quickstart::
+
+    from repro import (
+        ServingConfig, ServingSystem, TokenFlowScheduler,
+        WorkloadSpec, WorkloadBuilder, RngStreams,
+    )
+
+    config = ServingConfig(hardware="h200", model="llama3-8b", mem_frac=0.3)
+    system = ServingSystem(config, TokenFlowScheduler())
+    requests = WorkloadBuilder(WorkloadSpec(arrival="burst", n_requests=64),
+                               RngStreams(0)).build()
+    system.submit(requests)
+    system.run()
+    print(system.report().summary_row())
+"""
+
+from repro.baselines import AndesScheduler, SGLangChunkedScheduler, SGLangScheduler
+from repro.core import (
+    QoSParams,
+    RequestTracker,
+    TokenFlowParams,
+    TokenFlowScheduler,
+    UtilityParams,
+    WorkingSetParams,
+)
+from repro.gpu import HardwareSpec, LatencyModel, ModelSpec, get_hardware, get_model
+from repro.memory import HierarchicalKVManager, KVManagerConfig
+from repro.serving import RunReport, ServingConfig, ServingSystem
+from repro.sim import RngStreams, SimEngine
+from repro.workload import Request, WorkloadBuilder, WorkloadSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AndesScheduler",
+    "SGLangChunkedScheduler",
+    "SGLangScheduler",
+    "QoSParams",
+    "RequestTracker",
+    "TokenFlowParams",
+    "TokenFlowScheduler",
+    "UtilityParams",
+    "WorkingSetParams",
+    "HardwareSpec",
+    "LatencyModel",
+    "ModelSpec",
+    "get_hardware",
+    "get_model",
+    "HierarchicalKVManager",
+    "KVManagerConfig",
+    "RunReport",
+    "ServingConfig",
+    "ServingSystem",
+    "RngStreams",
+    "SimEngine",
+    "Request",
+    "WorkloadBuilder",
+    "WorkloadSpec",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Reporting helpers: summary statistics, ASCII tables, and charts."""
+
+from repro.analysis.compare import (
+    Delta,
+    compare_reports,
+    improvement_matrix,
+    render_comparison,
+)
+from repro.analysis.plots import ascii_chart, ascii_sparkline
+from repro.analysis.replication import (
+    MetricAggregate,
+    paired_win_rate,
+    replicate,
+    report_metrics,
+)
+from repro.analysis.stats import Summary, percentile, summarize
+from repro.analysis.tables import format_number, render_series, render_table
+
+__all__ = [
+    "Delta",
+    "compare_reports",
+    "improvement_matrix",
+    "render_comparison",
+    "ascii_chart",
+    "ascii_sparkline",
+    "MetricAggregate",
+    "paired_win_rate",
+    "replicate",
+    "report_metrics",
+    "percentile",
+    "summarize",
+    "Summary",
+    "render_table",
+    "render_series",
+    "format_number",
+]

@@ -1,0 +1,91 @@
+"""ASCII charts for terminal-friendly figure rendering.
+
+The paper's figures are line charts; benches and examples render their
+data as tables plus these lightweight ASCII plots, so "the same series
+the paper plots" is visible directly in test logs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def ascii_sparkline(values: Sequence, width: int = 60) -> str:
+    """One-line sparkline of a series (resampled to ``width``)."""
+    ticks = "▁▂▃▄▅▆▇█"
+    data = [float(v) for v in values]
+    if not data:
+        return ""
+    if len(data) > width:
+        # Average-pool down to the target width.
+        stride = len(data) / width
+        data = [
+            sum(data[int(i * stride):max(int(i * stride) + 1, int((i + 1) * stride))])
+            / max(1, len(data[int(i * stride):max(int(i * stride) + 1, int((i + 1) * stride))]))
+            for i in range(width)
+        ]
+    low, high = min(data), max(data)
+    span = high - low
+    if span <= 0:
+        return ticks[0] * len(data)
+    return "".join(ticks[min(7, int((v - low) / span * 8))] for v in data)
+
+
+def ascii_chart(
+    series: dict,
+    height: int = 12,
+    width: int = 64,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Multi-series ASCII line chart.
+
+    Args:
+        series: {name: sequence of y values}; all series share an
+            implicit x axis and are resampled to ``width`` columns.
+        height: plot rows.
+        width: plot columns.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if height < 2 or width < 8:
+        raise ValueError("chart too small")
+    markers = "*o+x#@%&"
+    resampled: dict = {}
+    for name, values in series.items():
+        data = [float(v) for v in values]
+        if not data:
+            raise ValueError(f"series {name!r} is empty")
+        if len(data) >= width:
+            stride = len(data) / width
+            data = [data[min(len(data) - 1, int(i * stride))] for i in range(width)]
+        else:
+            # Stretch short series across the full width.
+            data = [
+                data[min(len(data) - 1, int(i * len(data) / width))]
+                for i in range(width)
+            ]
+        resampled[name] = data
+
+    low = min(min(d) for d in resampled.values())
+    high = max(max(d) for d in resampled.values())
+    span = high - low if high > low else 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, data) in enumerate(resampled.items()):
+        marker = markers[idx % len(markers)]
+        for col, value in enumerate(data):
+            row = height - 1 - int((value - low) / span * (height - 1))
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{high:10.1f} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{low:10.1f} ┤" + "".join(grid[-1]))
+    legend = "   ".join(
+        f"{markers[idx % len(markers)]}={name}" for idx, name in enumerate(resampled)
+    )
+    lines.append(" " * 12 + legend + (f"   ({y_label})" if y_label else ""))
+    return "\n".join(lines)

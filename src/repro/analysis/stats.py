@@ -1,0 +1,45 @@
+"""Summary statistics used across metrics and benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def percentile(values: Sequence, q: float) -> float:
+    """Linear-interpolated percentile; q in [0, 100]."""
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot take a percentile of no data")
+    return float(np.percentile(data, q))
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    p50: float
+    p99: float
+    minimum: float
+    maximum: float
+
+
+def summarize(values: Sequence) -> Summary:
+    """Mean / P50 / P99 / min / max of a non-empty sample."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return Summary(
+        count=int(data.size),
+        mean=float(data.mean()),
+        p50=float(np.percentile(data, 50)),
+        p99=float(np.percentile(data, 99)),
+        minimum=float(data.min()),
+        maximum=float(data.max()),
+    )

@@ -1,0 +1,200 @@
+"""Command-line interface for running experiments and comparisons.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli experiment fig16 --scale 0.25
+    python -m repro.cli compare --systems sglang tokenflow \
+        --arrival burst --n-requests 120 --hardware h200 --mem-frac 0.1
+
+``list`` enumerates the paper experiments; ``experiment`` regenerates
+one table/figure (same runners the benchmark suite uses);
+``compare`` runs an ad-hoc workload across schedulers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.tables import render_table
+from repro.experiments import ablation, controlled, endtoend, micro, multirate
+from repro.experiments import overhead as overhead_mod
+from repro.experiments import ratesweep, sensitivity, temporal, timeline, toy
+from repro.experiments.runner import run_comparison
+from repro.experiments.systems import SYSTEM_NAMES
+from repro.serving.metrics import RunReport
+from repro.sim.rng import RngStreams
+from repro.workload.builder import RateMixture, WorkloadBuilder, WorkloadSpec
+
+# experiment id -> (description, runner(scale) -> printable str)
+EXPERIMENTS: dict = {
+    "fig01": ("consumption-rate tables", None),
+    "fig02": ("SGLang burst micro-benchmark", None),
+    "fig06": ("buffer-balancing toy example", None),
+    "fig12": ("end-to-end H200 + Llama3-8B", None),
+    "fig13": ("end-to-end A6000 + Qwen2.5-7B", None),
+    "fig14": ("queued requests over time", None),
+    "fig16": ("burst workloads (Table 1 a/b)", None),
+    "fig17": ("Poisson workloads (Table 1 c/d)", None),
+    "fig18": ("token generation timelines", None),
+    "fig19": ("multi-rate scheduling", None),
+    "fig20": ("generation-speed sweep", None),
+    "fig21": ("Ascend 910B", None),
+    "fig22": ("reschedule-interval sweep", None),
+    "fig23": ("buffer-conservativeness sweep", None),
+    "tab02": ("memory-management ablation", None),
+    "overhead": ("scheduling-pass overhead", None),
+}
+
+
+def _run_experiment(name: str, scale: float) -> str:
+    if name == "fig01":
+        from repro.client.rates import rate_table_rows
+        return render_table(["language", "age", "tokens/s"],
+                            rate_table_rows("reading"),
+                            title="Fig. 1: reading rates")
+    if name == "fig02":
+        return micro.render_burst_sweep(
+            micro.run_burst_sweep(full_burst=max(8, int(200 * scale)))
+        )
+    if name == "fig06":
+        return toy.render_toy(toy.run_toy_example())
+    if name == "fig12":
+        reports = endtoend.run_endtoend("h200-llama3-8b", duration=60.0, scale=scale)
+        return endtoend.render_endtoend("h200-llama3-8b", "burstgpt", reports)
+    if name == "fig13":
+        reports = endtoend.run_endtoend("a6000-qwen2.5-7b", duration=60.0, scale=scale)
+        return endtoend.render_endtoend("a6000-qwen2.5-7b", "burstgpt", reports)
+    if name == "fig14":
+        results = temporal.run_temporal(duration=80.0, base_rate=2.0 * scale,
+                                        max_batch=32)
+        return temporal.render_temporal(results, "queued")
+    if name == "fig16":
+        blocks = []
+        for gpu, key in (("rtx4090", "a"), ("rtx4090", "b"),
+                         ("h200", "a"), ("h200", "b")):
+            reports = controlled.run_controlled(gpu, key, scale=scale)
+            blocks.append(controlled.render_controlled(gpu, key, reports))
+        return "\n\n".join(blocks)
+    if name == "fig17":
+        blocks = []
+        for gpu, key in (("rtx4090", "c"), ("rtx4090", "d"),
+                         ("h200", "c"), ("h200", "d")):
+            reports = controlled.run_controlled(gpu, key, scale=scale)
+            blocks.append(controlled.render_controlled(gpu, key, reports))
+        return "\n\n".join(blocks)
+    if name == "fig18":
+        return timeline.render_timelines(timeline.run_timelines())
+    if name == "fig19":
+        return multirate.render_multirate(multirate.run_multirate())
+    if name == "fig20":
+        return ratesweep.render_rate_sweep(
+            ratesweep.run_rate_sweep(n_requests=max(8, int(200 * scale)))
+        )
+    if name == "fig21":
+        reports = endtoend.run_endtoend("ascend910b-llama3-8b",
+                                        duration=60.0, scale=scale)
+        return endtoend.render_endtoend("ascend910b-llama3-8b", "burstgpt", reports)
+    if name == "fig22":
+        return sensitivity.render_sensitivity(
+            sensitivity.run_interval_sweep(n_requests=max(8, int(200 * scale))),
+            "dt(s)",
+        )
+    if name == "fig23":
+        return sensitivity.render_sensitivity(
+            sensitivity.run_conservativeness_sweep(
+                n_requests=max(8, int(200 * scale))
+            ),
+            "mu",
+        )
+    if name == "tab02":
+        return ablation.render_ablation(
+            ablation.run_ablation(scale=scale, pcie_gbps=2.0)
+        )
+    if name == "overhead":
+        return overhead_mod.render_overhead(overhead_mod.measure_overhead())
+    raise KeyError(name)
+
+
+def cmd_list(_args) -> int:
+    rows = [[name, desc] for name, (desc, _) in sorted(EXPERIMENTS.items())]
+    print(render_table(["experiment", "description"], rows,
+                       title="Available experiments"))
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    if args.name not in EXPERIMENTS:
+        known = ", ".join(sorted(EXPERIMENTS))
+        print(f"unknown experiment {args.name!r}; known: {known}", file=sys.stderr)
+        return 2
+    print(_run_experiment(args.name, args.scale))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    spec = WorkloadSpec(
+        arrival=args.arrival,
+        n_requests=args.n_requests if args.arrival == "burst" else None,
+        poisson_rate=args.poisson_rate,
+        duration=args.duration,
+        rates=RateMixture.fixed(args.rate),
+    )
+    requests = WorkloadBuilder(spec, RngStreams(args.seed)).build()
+    reports = run_comparison(
+        args.systems, requests,
+        hardware=args.hardware, model=args.model,
+        mem_frac=args.mem_frac, max_batch=args.max_batch,
+    )
+    print(render_table(
+        RunReport.summary_headers() + ["stall(s)", "preempts"],
+        [
+            report.summary_row() + [round(report.stall_total, 1),
+                                    report.preemptions]
+            for report in reports.values()
+        ],
+        title=f"{args.arrival} workload on {args.hardware}/{args.model}",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="TokenFlow reproduction experiment runner"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(
+        func=cmd_list
+    )
+
+    exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp.add_argument("name", help="experiment id (see `list`)")
+    exp.add_argument("--scale", type=float, default=0.25,
+                     help="workload scale factor (default 0.25)")
+    exp.set_defaults(func=cmd_experiment)
+
+    cmp_ = sub.add_parser("compare", help="run an ad-hoc comparison")
+    cmp_.add_argument("--systems", nargs="+", default=list(SYSTEM_NAMES))
+    cmp_.add_argument("--arrival", choices=("burst", "poisson"), default="burst")
+    cmp_.add_argument("--n-requests", type=int, default=120)
+    cmp_.add_argument("--poisson-rate", type=float, default=2.0)
+    cmp_.add_argument("--duration", type=float, default=60.0)
+    cmp_.add_argument("--rate", type=float, default=10.0)
+    cmp_.add_argument("--hardware", default="h200")
+    cmp_.add_argument("--model", default="llama3-8b")
+    cmp_.add_argument("--mem-frac", type=float, default=0.1)
+    cmp_.add_argument("--max-batch", type=int, default=48)
+    cmp_.add_argument("--seed", type=int, default=0)
+    cmp_.set_defaults(func=cmd_compare)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

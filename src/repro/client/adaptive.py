@@ -1,0 +1,87 @@
+"""Adaptive reference-rate control for non-user clients (paper §8).
+
+User-facing clients declare a hard consumption rate the server must
+sustain. Non-user consumers (LLM agents, pipelines) instead carry a
+*reference rate* that acts purely as a scheduling-priority signal: a
+higher reference rate drains the virtual buffer faster and earns more
+decode time. The paper's discussion section sketches the extension we
+implement here: agents start at a low reference rate, accelerate when
+resources permit, and are throttled again under heavy load — freeing
+capacity for interactive users exactly when bursts hit.
+
+The controller is a simple AIMD loop over the serving system's load
+signals (waiting-queue depth and preempted-pool size), applied at each
+scheduler tick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AdaptiveRateParams:
+    """AIMD knobs for agent reference rates.
+
+    Attributes:
+        min_rate: floor the reference rate never drops below.
+        max_rate: ceiling reached when the system is idle.
+        increase_step: additive tokens/s added per unloaded tick.
+        decrease_factor: multiplicative backoff per loaded tick.
+        load_threshold: waiting+preempted requests counting as "loaded".
+    """
+
+    min_rate: float = 5.0
+    max_rate: float = 50.0
+    increase_step: float = 2.0
+    decrease_factor: float = 0.5
+    load_threshold: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0 < self.min_rate <= self.max_rate:
+            raise ValueError("need 0 < min_rate <= max_rate")
+        if self.increase_step <= 0:
+            raise ValueError("increase_step must be positive")
+        if not 0 < self.decrease_factor < 1:
+            raise ValueError("decrease_factor must be in (0, 1)")
+        if self.load_threshold < 0:
+            raise ValueError("load_threshold must be non-negative")
+
+
+class AdaptiveRateController:
+    """AIMD controller over agent requests' reference rates."""
+
+    def __init__(self, params: AdaptiveRateParams = None) -> None:
+        self.params = params if params is not None else AdaptiveRateParams()
+        self.adjustments = 0
+
+    def system_loaded(self, n_waiting: int, n_preempted: int) -> bool:
+        """Is interactive demand contending for the GPU right now?"""
+        return n_waiting + n_preempted > self.params.load_threshold
+
+    def target_rate(self, current: float, loaded: bool) -> float:
+        """AIMD step: additive increase when idle, backoff when loaded."""
+        params = self.params
+        if loaded:
+            return max(params.min_rate, current * params.decrease_factor)
+        return min(params.max_rate, current + params.increase_step)
+
+    def adjust(self, system) -> int:
+        """Apply one control step to every live agent request.
+
+        ``system`` is a :class:`repro.serving.server.ServingSystem`;
+        returns the number of rates changed.
+        """
+        loaded = self.system_loaded(len(system.waiting), len(system.preempted))
+        changed = 0
+        for entry in system.tracker.entries():
+            request = entry.request
+            if not request.is_agent or request.is_finished:
+                continue
+            new_rate = self.target_rate(request.rate, loaded)
+            if new_rate != request.rate:
+                request.rate = new_rate
+                entry.buffer.set_rate(new_rate)
+                changed += 1
+        self.adjustments += changed
+        return changed

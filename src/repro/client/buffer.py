@@ -1,0 +1,131 @@
+"""Client-side token buffer with consumption and stall accounting.
+
+The consumer model follows the paper (§3.2): the user starts reading
+at the first token's arrival and wants one token every ``1/rate``
+seconds thereafter.  Token ``j`` is *consumed* at
+
+    c_j = max(c_{j-1} + 1/rate, g_j)
+
+where ``g_j`` is its generation (delivery) time.  Whenever
+``g_j > c_{j-1} + 1/rate`` the user wanted a token that did not exist
+yet — the difference accrues as rebuffer (stall) time.
+
+Everything is computed incrementally, O(1) per delivered token, and the
+buffer also records ``B_{i,j}`` — the buffered-token count at the
+moment token ``j`` was generated — which both the QoS metric (Eq. 1)
+and the effective-throughput weight need.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ClientBuffer:
+    """Token buffer for one streaming request."""
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.rate = rate
+        self._interval = 1.0 / rate
+        self._rate_changes = 0
+        self._delivered = 0
+        self._gen_times: list = []
+        self._consume_times: list = []
+        self._stall_time = 0.0
+        self._occupancy_at_gen: list = []
+        # Pointer for lazy occupancy queries at non-decreasing times.
+        self._consumed_ptr = 0
+
+    def set_rate(self, rate: float) -> None:
+        """Change the consumption rate from now on (adaptive clients, §8).
+
+        Already-scheduled consumption times are unchanged; only the
+        pacing of future tokens uses the new rate.
+        """
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if rate != self.rate:
+            self.rate = rate
+            self._interval = 1.0 / rate
+            self._rate_changes += 1
+
+    @property
+    def rate_changes(self) -> int:
+        """Number of mid-stream rate adjustments applied."""
+        return self._rate_changes
+
+    # --- delivery --------------------------------------------------------
+    def deliver(self, timestamp: float) -> None:
+        """Record delivery of one token at ``timestamp``."""
+        if self._gen_times and timestamp < self._gen_times[-1]:
+            raise ValueError("deliveries must have non-decreasing timestamps")
+        if self._consume_times:
+            ideal = self._consume_times[-1] + self._interval
+            consume = max(ideal, timestamp)
+            if timestamp > ideal:
+                self._stall_time += timestamp - ideal
+        else:
+            # First token: consumption starts when it arrives; startup
+            # delay is charged via the TTFT penalty, not as a stall.
+            consume = timestamp
+        self._gen_times.append(timestamp)
+        self._consume_times.append(consume)
+        self._delivered += 1
+        self._occupancy_at_gen.append(self.occupancy(timestamp))
+
+    # --- queries ---------------------------------------------------------
+    def consumed_count(self, now: float) -> int:
+        """Number of tokens consumed by time ``now``.
+
+        Queries must come with non-decreasing ``now`` (true for a
+        simulation); this keeps the scan amortised O(1).
+        """
+        while (
+            self._consumed_ptr < len(self._consume_times)
+            and self._consume_times[self._consumed_ptr] <= now
+        ):
+            self._consumed_ptr += 1
+        return self._consumed_ptr
+
+    def occupancy(self, now: float) -> int:
+        """Tokens delivered but not yet consumed at ``now`` (b_rem)."""
+        return self._delivered - self.consumed_count(now)
+
+    def drain_deadline(self, now: float) -> float:
+        """Seconds until the buffer empties at the required rate.
+
+        This is the slack a scheduler has before preempting this
+        request would cause a stall.  Returns 0 for an empty buffer.
+        """
+        return self.occupancy(now) * self._interval
+
+    @property
+    def delivered(self) -> int:
+        """Total tokens delivered so far."""
+        return self._delivered
+
+    @property
+    def stall_time(self) -> float:
+        """Accumulated rebuffer time (seconds), excluding startup delay."""
+        return self._stall_time
+
+    @property
+    def generation_times(self) -> list:
+        return list(self._gen_times)
+
+    @property
+    def consumption_times(self) -> list:
+        return list(self._consume_times)
+
+    @property
+    def occupancy_at_generation(self) -> list:
+        """B_{i,j}: buffered tokens at each token's generation instant."""
+        return list(self._occupancy_at_gen)
+
+    def final_consumption_time(self) -> Optional[float]:
+        """When the user finishes the stream (None if nothing delivered)."""
+        if not self._consume_times:
+            return None
+        return self._consume_times[-1]

@@ -1,0 +1,59 @@
+"""TokenFlow's core contribution.
+
+* :mod:`repro.core.qos` — the streaming QoS metric (paper Eq. 1–2) and
+  the effective-throughput token weighting (§7.1.3).
+* :mod:`repro.core.tracker` — the Request Tracker component.
+* :mod:`repro.core.estimator` — sliding-window estimators for prefill
+  cost, queueing delay, and the recompute-vs-load decision (§4.2.3).
+* :mod:`repro.core.utility` — the per-request utility/priority
+  function (Eq. 3, §4.2.2).
+* :mod:`repro.core.working_set` — working-set sizing and admission
+  control (§4.2.1, Eq. 4–5).
+* :mod:`repro.core.balancer` — buffer balancing: greedy selection plus
+  adjacent-swap local search (§4.2.2).
+* :mod:`repro.core.scheduler` — the two-step buffer-aware scheduler
+  with the FCFS fallback (§4.3).
+* :mod:`repro.core.offload` — the Request Offload Manager bridging
+  scheduler decisions to KV-manager operations.
+"""
+
+from repro.core.qos import (
+    QoSParams,
+    token_utility,
+    effective_token_weight,
+    request_qos_terms,
+    qos_score,
+    effective_token_count,
+)
+from repro.core.tracker import RequestTracker, TrackedRequest
+from repro.core.estimator import SlidingWindowMean, PrefillCostEstimator, QueueDelayEstimator
+from repro.core.utility import UtilityParams, stall_risk, token_value, request_priority
+from repro.core.working_set import WorkingSetPolicy, WorkingSetParams
+from repro.core.balancer import BufferBalancer, BalanceResult
+from repro.core.scheduler import TokenFlowScheduler, TokenFlowParams
+from repro.core.offload import RequestOffloadManager
+
+__all__ = [
+    "QoSParams",
+    "token_utility",
+    "effective_token_weight",
+    "request_qos_terms",
+    "qos_score",
+    "effective_token_count",
+    "RequestTracker",
+    "TrackedRequest",
+    "SlidingWindowMean",
+    "PrefillCostEstimator",
+    "QueueDelayEstimator",
+    "UtilityParams",
+    "stall_risk",
+    "token_value",
+    "request_priority",
+    "WorkingSetPolicy",
+    "WorkingSetParams",
+    "BufferBalancer",
+    "BalanceResult",
+    "TokenFlowScheduler",
+    "TokenFlowParams",
+    "RequestOffloadManager",
+]

@@ -1,0 +1,117 @@
+"""Streaming QoS metric (paper §3.2) and effective throughput (§7.1.3).
+
+Two token-weighting schemes appear in the paper:
+
+* **Eq. (1)** — token utility with an absolute buffer threshold τ and
+  linear decay α, feeding the QoS score of Eq. (2):
+
+      QoS = (1/T) Σ_i [ Σ_j w_ij  −  λ·TTFT_i  −  μ·Rebuffer_i ]
+
+* **Effective throughput** (§7.1.3) — tokens weighted by buffer
+  occupancy relative to the request's *total output length*: full
+  weight below τ₁ = 10 %, linear decay to zero at τ₂ = 20 %, zero
+  beyond.
+
+Both operate on ``B_{i,j}`` — the client-buffer occupancy at the
+moment token *j* of request *i* was generated — which
+:class:`repro.client.buffer.ClientBuffer` records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class QoSParams:
+    """Weights of the QoS score (Eq. 2) and the Eq. 1 decay.
+
+    Attributes:
+        tau: absolute buffer threshold (tokens) where utility decay
+            starts; if None, τ is derived per request as
+            ``tau_frac * output_len`` (the paper notes τ "is related
+            to the total output length").
+        tau_frac: fraction of the output length used when ``tau`` is None.
+        alpha: linear decay factor beyond τ (per token).
+        lam: λ — TTFT penalty weight (per second).
+        mu: μ — rebuffer penalty weight (per second).
+    """
+
+    tau: Optional[float] = None
+    tau_frac: float = 0.10
+    alpha: float = 0.02
+    lam: float = 0.1
+    mu: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.tau is not None and self.tau < 0:
+            raise ValueError("tau must be non-negative")
+        if not 0 < self.tau_frac <= 1:
+            raise ValueError("tau_frac must be in (0, 1]")
+        if self.alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if self.lam < 0 or self.mu < 0:
+            raise ValueError("lam and mu must be non-negative")
+
+    def resolve_tau(self, output_len: int) -> float:
+        return self.tau if self.tau is not None else self.tau_frac * output_len
+
+
+def token_utility(buffer_occupancy: float, tau: float, alpha: float) -> float:
+    """Eq. (1): w = 1 below τ, else max(1 − α·(B − τ), 0)."""
+    if buffer_occupancy <= tau:
+        return 1.0
+    return max(1.0 - alpha * (buffer_occupancy - tau), 0.0)
+
+
+def effective_token_weight(
+    buffer_occupancy: float,
+    output_len: int,
+    tau1_frac: float = 0.10,
+    tau2_frac: float = 0.20,
+) -> float:
+    """§7.1.3 weight: 1 below τ₁·L, linear to 0 at τ₂·L, 0 beyond."""
+    if output_len <= 0:
+        raise ValueError("output_len must be positive")
+    if not 0 < tau1_frac < tau2_frac:
+        raise ValueError("need 0 < tau1_frac < tau2_frac")
+    tau1 = tau1_frac * output_len
+    tau2 = tau2_frac * output_len
+    if buffer_occupancy <= tau1:
+        return 1.0
+    if buffer_occupancy >= tau2:
+        return 0.0
+    return (tau2 - buffer_occupancy) / (tau2 - tau1)
+
+
+def effective_token_count(
+    occupancies: Sequence,
+    output_len: int,
+    tau1_frac: float = 0.10,
+    tau2_frac: float = 0.20,
+) -> float:
+    """Sum of effective-throughput weights over a request's tokens."""
+    return sum(
+        effective_token_weight(b, output_len, tau1_frac, tau2_frac) for b in occupancies
+    )
+
+
+def request_qos_terms(
+    occupancies: Sequence,
+    output_len: int,
+    ttft: float,
+    rebuffer: float,
+    params: QoSParams,
+) -> float:
+    """Inner bracket of Eq. (2) for one request."""
+    tau = params.resolve_tau(output_len)
+    utility_sum = sum(token_utility(b, tau, params.alpha) for b in occupancies)
+    return utility_sum - params.lam * ttft - params.mu * rebuffer
+
+
+def qos_score(per_request_terms: Iterable, total_time: float) -> float:
+    """Eq. (2): sum of per-request terms normalised by process time T."""
+    if total_time <= 0:
+        raise ValueError("total_time must be positive")
+    return sum(per_request_terms) / total_time

@@ -1,0 +1,107 @@
+"""Request Tracker (paper §3.1, first component).
+
+Monitors each request's runtime status: buffer token counts, required
+consumption rate, per-token generation timestamps, preemption history,
+and resource usage.  Both the scheduler (buffer occupancy, drain
+deadlines) and the metrics pipeline (QoS inputs) read from here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.client.buffer import ClientBuffer
+from repro.workload.request import Request, RequestState
+
+
+@dataclass
+class TrackedRequest:
+    """A request together with its client-side buffer."""
+
+    request: Request
+    buffer: ClientBuffer
+
+
+class RequestTracker:
+    """Registry of all requests seen by the serving system."""
+
+    def __init__(self) -> None:
+        self._entries: dict[int, TrackedRequest] = {}
+        self._finished_order: list = []
+
+    # --- registration ------------------------------------------------------
+    def register(self, request: Request) -> TrackedRequest:
+        if request.req_id in self._entries:
+            raise ValueError(f"request {request.req_id} already tracked")
+        entry = TrackedRequest(request=request, buffer=ClientBuffer(rate=request.rate))
+        self._entries[request.req_id] = entry
+        return entry
+
+    def get(self, req_id: int) -> TrackedRequest:
+        if req_id not in self._entries:
+            raise KeyError(f"request {req_id} is not tracked")
+        return self._entries[req_id]
+
+    def __contains__(self, req_id: int) -> bool:
+        return req_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # --- event hooks --------------------------------------------------------
+    def deliver_token(self, req_id: int, timestamp: float) -> None:
+        """Record one generated token flowing into the client buffer."""
+        entry = self.get(req_id)
+        entry.request.record_token(timestamp)
+        entry.buffer.deliver(timestamp)
+
+    def mark_finished(self, req_id: int, timestamp: float) -> None:
+        entry = self.get(req_id)
+        entry.request.finish_time = timestamp
+        self._finished_order.append(req_id)
+
+    # --- scheduler queries -----------------------------------------------------
+    def occupancy(self, req_id: int, now: float) -> int:
+        """b_rem: unread tokens currently buffered for this request."""
+        return self.get(req_id).buffer.occupancy(now)
+
+    def drain_deadline(self, req_id: int, now: float) -> float:
+        """Seconds until this request's buffer runs dry at rate r."""
+        return self.get(req_id).buffer.drain_deadline(now)
+
+    def rate(self, req_id: int) -> float:
+        return self.get(req_id).request.rate
+
+    def buffer_seconds(self, req_id: int, now: float) -> float:
+        """Buffer occupancy measured in seconds of consumption."""
+        return self.drain_deadline(req_id, now)
+
+    # --- metric queries --------------------------------------------------------
+    def entries(self) -> Iterable[TrackedRequest]:
+        return self._entries.values()
+
+    def finished_entries(self) -> list:
+        return [
+            self._entries[rid]
+            for rid in self._finished_order
+            if self._entries[rid].request.state is RequestState.FINISHED
+        ]
+
+    def all_requests(self) -> list:
+        return [entry.request for entry in self._entries.values()]
+
+    def first_arrival(self) -> Optional[float]:
+        if not self._entries:
+            return None
+        return min(entry.request.arrival_time for entry in self._entries.values())
+
+    def last_activity(self) -> Optional[float]:
+        """Latest token-generation or consumption timestamp observed."""
+        latest: Optional[float] = None
+        for entry in self._entries.values():
+            final = entry.buffer.final_consumption_time()
+            for candidate in (final, entry.request.finish_time):
+                if candidate is not None and (latest is None or candidate > latest):
+                    latest = candidate
+        return latest

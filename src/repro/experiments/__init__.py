@@ -1,0 +1,48 @@
+"""Experiment runners: one per paper table/figure.
+
+Each module exposes a ``run_*`` function returning structured results
+plus a ``render_*`` helper producing the ASCII table/series the paper
+reports.  The benchmark harness under ``benchmarks/`` is a thin layer
+over these runners, so every experiment is also directly runnable from
+Python (see ``examples/``).
+
+Index (see DESIGN.md §4 for the full mapping):
+
+================  ===========================================
+Module            Paper content
+================  ===========================================
+``micro``         Fig. 2  — SGLang burst micro-benchmark
+``toy``           Fig. 6  — buffer-balancing toy example
+``endtoend``      Figs. 12/13/21 — end-to-end comparisons
+``temporal``      Figs. 14/15 — queued/running timelines
+``controlled``    Table 1 + Figs. 16/17 — controlled loads
+``timeline``      Fig. 18 — token generation timelines
+``multirate``     Fig. 19 — multi-rate scheduling
+``ratesweep``     Fig. 20 — generation-speed sweep
+``sensitivity``   Figs. 22/23 — Δt and conservativeness
+``ablation``      Table 2 — memory-manager ablation
+``overhead``      §7.6 — scheduling-pass overhead
+================  ===========================================
+"""
+
+from repro.experiments.runner import clone_requests, run_comparison, run_single
+from repro.experiments.systems import (
+    ABLATION_NAMES,
+    EXTRA_SYSTEM_NAMES,
+    SYSTEM_NAMES,
+    build_system,
+    make_kv_config,
+    make_scheduler,
+)
+
+__all__ = [
+    "SYSTEM_NAMES",
+    "EXTRA_SYSTEM_NAMES",
+    "ABLATION_NAMES",
+    "make_scheduler",
+    "make_kv_config",
+    "build_system",
+    "clone_requests",
+    "run_comparison",
+    "run_single",
+]

@@ -1,0 +1,174 @@
+"""Controlled request-distribution experiments (Table 1, Figs. 16/17).
+
+Table 1 defines four setups per GPU:
+
+=======  ==================  ==================
+Setup    RTX 4090            H200
+=======  ==================  ==================
+(a)      Burst b=60, SL      Burst b=400, SL
+(b)      Burst b=80, LL      Burst b=200, LL
+(c)      Poisson λ=2, SL     Poisson λ=5, SL
+(d)      Poisson λ=4, SL     Poisson λ=10, SL
+=======  ==================  ==================
+
+"S"/"L" are the short/long length regimes of §7.3: 512/1024-token mean
+prompts and 1024/2048-token mean outputs on the RTX 4090, with H200
+outputs scaled 2x.  ``scale`` shrinks request counts / rates
+proportionally so the benchmark suite stays fast; the comparison shape
+is scale-invariant (all systems see identical workloads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.tables import render_table
+from repro.experiments.runner import run_comparison
+from repro.experiments.systems import SYSTEM_NAMES
+from repro.sim.rng import RngStreams
+from repro.workload.builder import RateMixture, WorkloadBuilder, WorkloadSpec
+from repro.workload.lengths import NormalLengthSampler
+
+DEFAULT_RATE = 10.0  # tokens/s — roughly 2x fast reading speed (Fig. 2)
+
+
+@dataclass(frozen=True)
+class ControlledSetup:
+    """One Table 1 cell.
+
+    ``poisson_rate`` records the paper's λ; ``sim_poisson_rate`` is the
+    λ actually driven through the simulator, calibrated so that
+    demand/capacity matches the paper's testbed regime (the paper's
+    H200 sustains far higher absolute decode throughput than our
+    conservative roofline, so replaying the paper's absolute λ would
+    turn a heavy-load experiment into a pathological overload).
+    """
+
+    gpu: str
+    key: str              # "a".."d"
+    arrival: str          # "burst" | "poisson"
+    burst_size: int = 0
+    poisson_rate: float = 0.0
+    sim_poisson_rate: float = 0.0
+    length_regime: str = "S"   # "S" | "L"
+    duration: float = 60.0     # horizon for Poisson arrivals
+
+    def label(self) -> str:
+        if self.arrival == "burst":
+            return f"{self.gpu} ({self.key}) burst b={self.burst_size}, {self.length_regime}L"
+        return f"{self.gpu} ({self.key}) poisson λ={self.poisson_rate}, {self.length_regime}L"
+
+
+TABLE1: dict = {
+    ("rtx4090", "a"): ControlledSetup("rtx4090", "a", "burst", burst_size=60, length_regime="S"),
+    ("rtx4090", "b"): ControlledSetup("rtx4090", "b", "burst", burst_size=80, length_regime="L"),
+    ("rtx4090", "c"): ControlledSetup("rtx4090", "c", "poisson", poisson_rate=2.0,
+                                      sim_poisson_rate=0.85, length_regime="S"),
+    ("rtx4090", "d"): ControlledSetup("rtx4090", "d", "poisson", poisson_rate=4.0,
+                                      sim_poisson_rate=1.1, length_regime="S"),
+    ("h200", "a"): ControlledSetup("h200", "a", "burst", burst_size=400, length_regime="S"),
+    ("h200", "b"): ControlledSetup("h200", "b", "burst", burst_size=200, length_regime="L"),
+    ("h200", "c"): ControlledSetup("h200", "c", "poisson", poisson_rate=5.0,
+                                   sim_poisson_rate=3.8, length_regime="S"),
+    ("h200", "d"): ControlledSetup("h200", "d", "poisson", poisson_rate=10.0,
+                                   sim_poisson_rate=4.5, length_regime="S"),
+}
+
+
+def length_sampler(setup: ControlledSetup) -> NormalLengthSampler:
+    """§7.3 length regime for a setup (H200 outputs scaled 2x)."""
+    if setup.length_regime == "S":
+        prompt_mean, output_mean = 512.0, 1024.0
+    else:
+        prompt_mean, output_mean = 1024.0, 2048.0
+    if setup.gpu == "h200":
+        output_mean *= 2.0
+    return NormalLengthSampler(
+        prompt_mean=prompt_mean,
+        prompt_std=prompt_mean / 4.0,
+        output_mean=output_mean,
+        output_std=output_mean / 4.0,
+    )
+
+
+def build_workload(
+    setup: ControlledSetup,
+    scale: float = 1.0,
+    seed: int = 0,
+    rate: float = DEFAULT_RATE,
+) -> list:
+    """Materialise a setup's request list at a given scale."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    if setup.arrival == "burst":
+        # Burst setups scale the crowd size (memory pressure is kept by
+        # scaling the KV pool alongside; see serving_kwargs).
+        spec = WorkloadSpec(
+            arrival="burst",
+            n_requests=max(4, int(setup.burst_size * scale)),
+            burst_spread=0.25,
+            lengths=length_sampler(setup),
+            rates=RateMixture.fixed(rate),
+        )
+    else:
+        # Poisson setups keep the calibrated arrival rate (pressure is
+        # rate-vs-capacity) and shrink the horizon instead.
+        spec = WorkloadSpec(
+            arrival="poisson",
+            n_requests=None,
+            poisson_rate=setup.sim_poisson_rate or setup.poisson_rate,
+            duration=max(10.0, setup.duration * scale),
+            lengths=length_sampler(setup),
+            rates=RateMixture.fixed(rate),
+        )
+    return WorkloadBuilder(spec, RngStreams(seed)).build()
+
+
+def serving_kwargs(setup: ControlledSetup, scale: float = 1.0) -> dict:
+    """Hardware/model/memory settings for a setup.
+
+    Both GPUs serve Llama3-8B; the H200 starts at mem-frac 0.3 (§7.3),
+    the RTX 4090 uses whatever its 24 GB leaves after weights.  For
+    *burst* setups run at reduced scale, the KV pool shrinks with the
+    crowd so the burst-size/memory pressure ratio of the full-scale
+    experiment is preserved.
+    """
+    base_frac = 0.30 if setup.gpu == "h200" else 0.23
+    if setup.arrival == "burst" and scale < 1.0:
+        mem_frac = max(0.01, base_frac * scale)
+    else:
+        mem_frac = base_frac
+    if setup.gpu == "h200":
+        return {"hardware": "h200", "model": "llama3-8b", "mem_frac": mem_frac,
+                "max_batch": 96}
+    return {"hardware": "rtx4090", "model": "llama3-8b", "mem_frac": mem_frac,
+            "max_batch": 24}
+
+
+def run_controlled(
+    gpu: str,
+    key: str,
+    systems: Sequence = SYSTEM_NAMES,
+    scale: float = 1.0,
+    seed: int = 0,
+    rate: float = DEFAULT_RATE,
+    horizon: float = 50_000.0,
+) -> dict:
+    """Run one Table 1 cell across systems -> {name: RunReport}."""
+    setup = TABLE1[(gpu, key)]
+    requests = build_workload(setup, scale=scale, seed=seed, rate=rate)
+    return run_comparison(
+        systems, requests, horizon=horizon, **serving_kwargs(setup, scale)
+    )
+
+
+def render_controlled(gpu: str, key: str, reports: dict) -> str:
+    """Fig. 16/17-style metric rows for one setup."""
+    setup = TABLE1[(gpu, key)]
+    rows = [report.summary_row() for report in reports.values()]
+    return render_table(
+        type(next(iter(reports.values()))).summary_headers(),
+        rows,
+        title=setup.label(),
+    )

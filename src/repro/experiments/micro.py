@@ -1,0 +1,101 @@
+"""SGLang burst micro-benchmark (paper Figure 2).
+
+Reproduces §2.3's motivation: sweep burst intensity against a plain
+SGLang (FCFS, prefill-first) system and report (a) mean/P99 TTFT
+against the 1.3 s engagement threshold and (b) the mean per-request
+generation speed against 2x reading speed — showing TTFT explodes
+while active requests generate far faster than users can read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.experiments.runner import run_single
+from repro.experiments.systems import build_system
+from repro.sim.rng import RngStreams
+from repro.workload.builder import RateMixture, WorkloadBuilder, WorkloadSpec
+from repro.workload.lengths import NormalLengthSampler
+
+TTFT_TARGET_S = 1.3          # user-engagement threshold (§2.2)
+READING_SPEED_2X = 12.0      # 2x average reading speed (Fig. 2 right)
+
+
+@dataclass(frozen=True)
+class BurstPoint:
+    """One burst-load measurement."""
+
+    load: float
+    burst_size: int
+    ttft_mean: float
+    ttft_p99: float
+    gen_speed_mean: float
+
+
+def generation_speed(report) -> float:
+    """Mean per-request decode-phase speed (tokens/s after TTFT)."""
+    speeds = []
+    for metrics in report.per_request:
+        if metrics.ttft is None or metrics.finish_time is None:
+            continue
+        streaming = metrics.finish_time - (metrics.arrival_time + metrics.ttft)
+        if streaming > 0 and metrics.generated > 1:
+            speeds.append((metrics.generated - 1) / streaming)
+    return float(np.mean(speeds)) if speeds else float("nan")
+
+
+def run_burst_sweep(
+    loads: Sequence = (0.25, 0.5, 0.75, 1.0),
+    full_burst: int = 200,
+    system: str = "sglang",
+    hardware: str = "h200",
+    model: str = "llama3-8b",
+    mem_frac: float = 0.3,
+    rate: float = 10.0,
+    seed: int = 0,
+    horizon: float = 50_000.0,
+) -> list:
+    """Sweep burst intensity; returns :class:`BurstPoint` rows."""
+    points: list = []
+    for load in loads:
+        burst = max(4, int(full_burst * load))
+        spec = WorkloadSpec(
+            arrival="burst",
+            n_requests=burst,
+            burst_spread=0.25,
+            lengths=NormalLengthSampler(),
+            rates=RateMixture.fixed(rate),
+        )
+        requests = WorkloadBuilder(spec, RngStreams(seed)).build()
+        instance = build_system(
+            system, hardware=hardware, model=model, mem_frac=mem_frac, max_batch=64
+        )
+        report = run_single(instance, requests, horizon=horizon)
+        points.append(
+            BurstPoint(
+                load=load,
+                burst_size=burst,
+                ttft_mean=report.ttft_mean,
+                ttft_p99=report.ttft_p99,
+                gen_speed_mean=generation_speed(report),
+            )
+        )
+    return points
+
+
+def render_burst_sweep(points: list) -> str:
+    rows = [
+        [p.load, p.burst_size, round(p.ttft_mean, 2), round(p.ttft_p99, 2),
+         round(p.gen_speed_mean, 1)]
+        for p in points
+    ]
+    return render_table(
+        ["burst_load", "n_requests", "mean_ttft(s)", "p99_ttft(s)", "gen_speed(tok/s)"],
+        rows,
+        title=f"Fig. 2 micro-benchmark (targets: TTFT<{TTFT_TARGET_S}s, "
+        f"speed~{READING_SPEED_2X}tok/s)",
+    )

@@ -1,0 +1,75 @@
+"""Shared experiment driving: request cloning and A/B comparisons.
+
+Every comparison in the paper runs each system on the *same* workload;
+:func:`clone_requests` gives each system a fresh copy of the request
+objects (runtime state is per-system), and :func:`run_comparison`
+drives all systems to completion with a safety horizon.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.systems import build_system
+from repro.serving.metrics import RunReport
+from repro.serving.server import ServingSystem
+from repro.workload.request import Request
+
+
+def clone_requests(requests: Sequence) -> list:
+    """Fresh copies of the workload attributes of ``requests``."""
+    return [
+        Request(
+            req_id=r.req_id,
+            arrival_time=r.arrival_time,
+            prompt_len=r.prompt_len,
+            output_len=r.output_len,
+            rate=r.rate,
+            is_agent=r.is_agent,
+        )
+        for r in requests
+    ]
+
+
+def run_single(
+    system: ServingSystem,
+    requests: Sequence,
+    horizon: float = 50_000.0,
+) -> RunReport:
+    """Run one system on one workload and return its report."""
+    system.submit(clone_requests(requests))
+    system.run(until=horizon)
+    if system.unfinished:
+        raise RuntimeError(
+            f"{system.scheduler.name}: {system.unfinished} requests unfinished "
+            f"at horizon {horizon}s — raise the horizon or shrink the workload"
+        )
+    return system.report()
+
+
+def run_comparison(
+    system_names: Sequence,
+    requests: Sequence,
+    hardware: str = "h200",
+    model: str = "llama3-8b",
+    mem_frac: Optional[float] = None,
+    max_batch: int = 64,
+    horizon: float = 50_000.0,
+    tokenflow_params=None,
+) -> dict:
+    """Run each named system on identical workload copies.
+
+    Returns ``{system_name: RunReport}`` in input order.
+    """
+    reports: dict = {}
+    for name in system_names:
+        system = build_system(
+            name,
+            hardware=hardware,
+            model=model,
+            mem_frac=mem_frac,
+            max_batch=max_batch,
+            tokenflow_params=tokenflow_params,
+        )
+        reports[name] = run_single(system, requests, horizon=horizon)
+    return reports

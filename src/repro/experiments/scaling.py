@@ -1,0 +1,106 @@
+"""Cluster scale-out experiment (paper §8 extension).
+
+The paper's discussion argues TokenFlow's single-node design composes
+with a dispatch layer for multi-node serving.  This experiment runs
+the same flash crowd against clusters of 1..N identical TokenFlow
+nodes and reports how burst absorption scales — the cluster analogue
+of Fig. 16's single-node metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.tables import render_table
+from repro.core.scheduler import TokenFlowScheduler
+from repro.experiments.runner import clone_requests
+from repro.serving.cluster import ServingCluster
+from repro.sim.rng import RngStreams
+from repro.workload.builder import RateMixture, WorkloadBuilder, WorkloadSpec
+from repro.workload.lengths import NormalLengthSampler
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """Cluster metrics at one node count."""
+
+    n_instances: int
+    throughput: float
+    effective_throughput: float
+    ttft_mean: float
+    ttft_p99: float
+    stall_total: float
+    placement_spread: float  # max/min requests per node (1.0 = even)
+
+
+def run_cluster_scaling(
+    node_counts: Sequence = (1, 2, 4),
+    n_requests: int = 96,
+    dispatch: str = "least_loaded",
+    seed: int = 0,
+    rate: float = 10.0,
+    horizon: float = 50_000.0,
+) -> list:
+    """Run the burst against increasing cluster sizes."""
+    spec = WorkloadSpec(
+        arrival="burst",
+        n_requests=n_requests,
+        burst_spread=0.25,
+        lengths=NormalLengthSampler(),
+        rates=RateMixture.fixed(rate),
+    )
+    requests = WorkloadBuilder(spec, RngStreams(seed)).build()
+    points: list = []
+    for n_instances in node_counts:
+        cluster = ServingCluster.homogeneous(
+            n_instances,
+            TokenFlowScheduler,
+            dispatch=dispatch,
+            hardware="h200",
+            model="llama3-8b",
+            mem_frac=0.02,
+            max_batch=16,
+        )
+        cluster.submit(clone_requests(requests))
+        cluster.run(until=horizon)
+        if cluster.unfinished:
+            raise RuntimeError(
+                f"{n_instances}-node cluster left {cluster.unfinished} unfinished"
+            )
+        report = cluster.report()
+        counts = cluster.placement_counts()
+        spread = max(counts) / max(1, min(counts)) if counts else 1.0
+        points.append(
+            ScalingPoint(
+                n_instances=n_instances,
+                throughput=report.throughput,
+                effective_throughput=report.effective_throughput,
+                ttft_mean=report.ttft_mean,
+                ttft_p99=report.ttft_p99,
+                stall_total=report.stall_total,
+                placement_spread=spread,
+            )
+        )
+    return points
+
+
+def render_scaling(points: list) -> str:
+    rows = [
+        [
+            p.n_instances,
+            round(p.throughput, 1),
+            round(p.effective_throughput, 1),
+            round(p.ttft_mean, 2),
+            round(p.ttft_p99, 2),
+            round(p.stall_total, 1),
+            round(p.placement_spread, 2),
+        ]
+        for p in points
+    ]
+    return render_table(
+        ["nodes", "thpt", "eff_thpt", "mean_ttft(s)", "p99_ttft(s)",
+         "stall(s)", "spread"],
+        rows,
+        title="§8 extension: TokenFlow cluster scale-out under one burst",
+    )

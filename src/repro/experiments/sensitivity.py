@@ -1,0 +1,135 @@
+"""Hyperparameter sensitivity (paper Figures 22 and 23).
+
+* Fig. 22 — the reschedule interval Δt (0.5–1.5 s): shorter intervals
+  marginally improve effective throughput and TTFT at higher
+  scheduling overhead.
+* Fig. 23 — buffer conservativeness μ: high values behave cautiously
+  (SGLang-like, fewer preemptions); low values adapt aggressively at
+  some stutter risk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.analysis.tables import render_table
+from repro.core.scheduler import TokenFlowParams
+from repro.core.working_set import WorkingSetParams
+from repro.experiments.runner import run_comparison
+from repro.sim.rng import RngStreams
+from repro.workload.builder import RateMixture, WorkloadBuilder, WorkloadSpec
+from repro.workload.lengths import NormalLengthSampler
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """One knob setting's headline metrics."""
+
+    setting: float
+    effective_throughput: float
+    ttft_mean: float
+    ttft_p99: float
+    stall_total: float
+    preemptions: int
+
+
+def _burst_workload(n_requests: int, rate: float, seed: int) -> list:
+    spec = WorkloadSpec(
+        arrival="burst",
+        n_requests=n_requests,
+        burst_spread=0.25,
+        lengths=NormalLengthSampler(),
+        rates=RateMixture.fixed(rate),
+    )
+    return WorkloadBuilder(spec, RngStreams(seed)).build()
+
+
+def _run_tokenflow(params: TokenFlowParams, requests, serving_kwargs: dict):
+    reports = run_comparison(
+        ("tokenflow",), requests, tokenflow_params=params, **serving_kwargs
+    )
+    return reports["tokenflow"]
+
+
+DEFAULT_SERVING = {
+    "hardware": "h200",
+    "model": "llama3-8b",
+    "mem_frac": 0.1,
+    "max_batch": 48,
+}
+
+
+def run_interval_sweep(
+    intervals: Sequence = (0.5, 1.0, 1.5),
+    n_requests: int = 120,
+    rate: float = 10.0,
+    seed: int = 0,
+    serving_kwargs: dict = None,
+) -> list:
+    """Fig. 22: sweep the reschedule interval Δt."""
+    serving = dict(DEFAULT_SERVING if serving_kwargs is None else serving_kwargs)
+    requests = _burst_workload(n_requests, rate, seed)
+    points: list = []
+    for interval in intervals:
+        params = TokenFlowParams(tick_interval=float(interval))
+        report = _run_tokenflow(params, requests, serving)
+        points.append(
+            SensitivityPoint(
+                setting=float(interval),
+                effective_throughput=report.effective_throughput,
+                ttft_mean=report.ttft_mean,
+                ttft_p99=report.ttft_p99,
+                stall_total=report.stall_total,
+                preemptions=report.preemptions,
+            )
+        )
+    return points
+
+
+def run_conservativeness_sweep(
+    mus: Sequence = (1.0, 20.0),
+    n_requests: int = 120,
+    rate: float = 10.0,
+    seed: int = 0,
+    serving_kwargs: dict = None,
+) -> list:
+    """Fig. 23: sweep buffer conservativeness μ."""
+    serving = dict(DEFAULT_SERVING if serving_kwargs is None else serving_kwargs)
+    requests = _burst_workload(n_requests, rate, seed)
+    points: list = []
+    for mu in mus:
+        params = TokenFlowParams(
+            working_set=WorkingSetParams(safety_factor=float(mu))
+        )
+        report = _run_tokenflow(params, requests, serving)
+        points.append(
+            SensitivityPoint(
+                setting=float(mu),
+                effective_throughput=report.effective_throughput,
+                ttft_mean=report.ttft_mean,
+                ttft_p99=report.ttft_p99,
+                stall_total=report.stall_total,
+                preemptions=report.preemptions,
+            )
+        )
+    return points
+
+
+def render_sensitivity(points: list, knob: str) -> str:
+    rows = [
+        [
+            p.setting,
+            round(p.effective_throughput, 1),
+            round(p.ttft_mean, 2),
+            round(p.ttft_p99, 2),
+            round(p.stall_total, 1),
+            p.preemptions,
+        ]
+        for p in points
+    ]
+    return render_table(
+        [knob, "eff_thpt", "mean_ttft(s)", "p99_ttft(s)", "stall(s)", "preempts"],
+        rows,
+        title=f"Sensitivity to {knob}",
+    )

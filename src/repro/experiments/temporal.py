@@ -1,0 +1,109 @@
+"""Temporal queue dynamics (paper Figures 14 and 15).
+
+Stress-tests Qwen2.5-32B on the H200 with a BurstGPT-like trace and
+records the number of queued and running requests over time for each
+system.  TokenFlow should show fewer queued requests and higher
+concurrency at peaks than the baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.experiments.runner import clone_requests
+from repro.experiments.systems import SYSTEM_NAMES, build_system
+from repro.sim.rng import RngStreams
+from repro.workload.builder import RateMixture, WorkloadBuilder, WorkloadSpec
+from repro.workload.burstgpt import BurstGPTTraceGenerator
+from repro.workload.lengths import LogNormalLengthSampler
+
+
+def build_stress_trace(
+    duration: float = 240.0,
+    base_rate: float = 0.5,
+    seed: int = 0,
+    rate: float = 10.0,
+) -> list:
+    """BurstGPT-like stress trace for the 32B model."""
+    spec = WorkloadSpec(
+        arrival="burstgpt",
+        n_requests=None,
+        duration=duration,
+        lengths=LogNormalLengthSampler(
+            prompt_median=256.0, prompt_sigma=0.8,
+            output_median=512.0, output_sigma=0.7,
+        ),
+        rates=RateMixture.fixed(rate),
+        burstgpt=BurstGPTTraceGenerator(
+            base_rate=base_rate,
+            burst_rate_multiplier=6.0,
+            burst_duration=15.0,
+            burst_frequency=1.0 / 60.0,
+        ),
+    )
+    return WorkloadBuilder(spec, RngStreams(seed)).build()
+
+
+def binned_timeline(timeline: list, bin_s: float, horizon: float) -> dict:
+    """Average (queued, running) per time bin."""
+    edges = np.arange(0.0, horizon + bin_s, bin_s)
+    queued_sum = np.zeros(len(edges) - 1)
+    running_sum = np.zeros(len(edges) - 1)
+    counts = np.zeros(len(edges) - 1)
+    for t, queued, running in timeline:
+        idx = min(int(t // bin_s), len(edges) - 2)
+        queued_sum[idx] += queued
+        running_sum[idx] += running
+        counts[idx] += 1
+    with np.errstate(invalid="ignore"):
+        queued = np.where(counts > 0, queued_sum / np.maximum(counts, 1), 0.0)
+        running = np.where(counts > 0, running_sum / np.maximum(counts, 1), 0.0)
+    centres = (edges[:-1] + edges[1:]) / 2.0
+    return {"t": centres, "queued": queued, "running": running}
+
+
+def run_temporal(
+    systems: Sequence = SYSTEM_NAMES,
+    duration: float = 240.0,
+    base_rate: float = 0.5,
+    bin_s: float = 10.0,
+    seed: int = 0,
+    hardware: str = "h200",
+    model: str = "qwen2.5-32b",
+    max_batch: int = 48,
+    horizon: float = 50_000.0,
+) -> dict:
+    """Per-system binned queued/running series plus peak summaries."""
+    requests = build_stress_trace(duration=duration, base_rate=base_rate, seed=seed)
+    results: dict = {}
+    for name in systems:
+        system = build_system(name, hardware=hardware, model=model, max_batch=max_batch)
+        system.submit(clone_requests(requests))
+        system.run(until=horizon)
+        if system.unfinished:
+            raise RuntimeError(f"{name}: {system.unfinished} unfinished at horizon")
+        end = system.makespan()
+        series = binned_timeline(system.timeline, bin_s, end)
+        series["peak_queued"] = float(np.max(series["queued"])) if len(series["queued"]) else 0.0
+        series["mean_running"] = float(np.mean(series["running"])) if len(series["running"]) else 0.0
+        results[name] = series
+    return results
+
+
+def render_temporal(results: dict, metric: str = "queued") -> str:
+    """Fig. 14/15-style table: one column per system over time bins."""
+    names = list(results)
+    length = min(len(results[name]["t"]) for name in names)
+    rows = []
+    for idx in range(length):
+        rows.append(
+            [round(float(results[names[0]]["t"][idx]), 1)]
+            + [round(float(results[name][metric][idx]), 1) for name in names]
+        )
+    return render_table(
+        ["t(s)"] + names, rows, title=f"Fig. {'14' if metric == 'queued' else '15'}: "
+        f"{metric} requests over time"
+    )

@@ -1,0 +1,26 @@
+"""GPU + model execution substrate.
+
+Substitutes for the paper's CUDA/SGLang backend with an analytical
+roofline model: prefill iterations are compute-bound, decode iterations
+are memory-bandwidth-bound, and both depend on batch composition.  The
+scheduler experiments only need *relative* timing (iteration latency vs
+PCIe transfer latency vs user consumption rate), which this model
+preserves; see DESIGN.md §2 for the substitution argument.
+"""
+
+from repro.gpu.hardware import HardwareSpec, get_hardware, HARDWARE_SPECS
+from repro.gpu.models import ModelSpec, get_model, MODEL_SPECS
+from repro.gpu.latency import LatencyModel
+from repro.gpu.executor import LLMExecutor, IterationResult
+
+__all__ = [
+    "HardwareSpec",
+    "get_hardware",
+    "HARDWARE_SPECS",
+    "ModelSpec",
+    "get_model",
+    "MODEL_SPECS",
+    "LatencyModel",
+    "LLMExecutor",
+    "IterationResult",
+]

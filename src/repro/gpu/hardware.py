@@ -1,0 +1,122 @@
+"""Hardware specifications for the GPUs used in the paper's evaluation.
+
+Numbers are public datasheet values: dense FP16/BF16 tensor throughput
+(no sparsity), HBM/GDDR bandwidth, device memory, and host-link
+bandwidth.  Efficiency factors fold in the usual gap between datasheet
+peaks and achieved LLM-serving numbers (kernel launch overheads,
+attention inefficiency, non-overlapped PCIe setup, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HardwareSpec:
+    """A single accelerator + host link.
+
+    Attributes:
+        name: canonical identifier (lowercase).
+        fp16_tflops: dense FP16/BF16 tensor throughput, TFLOP/s.
+        mem_bandwidth_gbps: device memory bandwidth, GB/s.
+        mem_capacity_gb: device memory capacity, GB.
+        pcie_bandwidth_gbps: effective host-link bandwidth per
+            direction, GB/s (links are full duplex).
+        compute_efficiency: fraction of peak FLOPs achieved on
+            prefill-style GEMMs.
+        bandwidth_efficiency: fraction of peak memory bandwidth
+            achieved on decode-style weight/KV streaming.
+        iteration_overhead_s: fixed per-iteration launch/scheduling
+            overhead in seconds.
+    """
+
+    name: str
+    fp16_tflops: float
+    mem_bandwidth_gbps: float
+    mem_capacity_gb: float
+    pcie_bandwidth_gbps: float
+    compute_efficiency: float = 0.50
+    bandwidth_efficiency: float = 0.75
+    iteration_overhead_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "fp16_tflops",
+            "mem_bandwidth_gbps",
+            "mem_capacity_gb",
+            "pcie_bandwidth_gbps",
+        ):
+            value = getattr(self, field_name)
+            if value <= 0:
+                raise ValueError(f"{field_name} must be positive, got {value}")
+        if not 0 < self.compute_efficiency <= 1:
+            raise ValueError("compute_efficiency must be in (0, 1]")
+        if not 0 < self.bandwidth_efficiency <= 1:
+            raise ValueError("bandwidth_efficiency must be in (0, 1]")
+
+    @property
+    def effective_flops(self) -> float:
+        """Achievable FLOP/s on large GEMMs."""
+        return self.fp16_tflops * 1e12 * self.compute_efficiency
+
+    @property
+    def effective_mem_bandwidth(self) -> float:
+        """Achievable device-memory bytes/s."""
+        return self.mem_bandwidth_gbps * 1e9 * self.bandwidth_efficiency
+
+    @property
+    def mem_capacity_bytes(self) -> int:
+        return int(self.mem_capacity_gb * 1e9)
+
+    @property
+    def pcie_bytes_per_s(self) -> float:
+        return self.pcie_bandwidth_gbps * 1e9
+
+
+# RTX 4090: 82.6 TFLOPs FP16 (dense tensor), 1008 GB/s GDDR6X, 24 GB,
+# PCIe 4.0 x16 (~25 GB/s effective).
+# A6000 (Ampere): 77.4 -> use 155 TFLOPs w/ TF32? Datasheet FP16 tensor
+# dense is 154.8 with sparsity off at 77.4; we use 77.4. 768 GB/s, 48 GB.
+# H200: 989 TFLOPs BF16 dense, 4.8 TB/s HBM3e, 141 GB, PCIe 5.0 x16
+# (~50 GB/s effective).
+# Ascend 910B: ~376 TFLOPs FP16, ~1.6 TB/s, 64 GB, PCIe 4.0.
+HARDWARE_SPECS: dict[str, HardwareSpec] = {
+    "rtx4090": HardwareSpec(
+        name="rtx4090",
+        fp16_tflops=82.6,
+        mem_bandwidth_gbps=1008.0,
+        mem_capacity_gb=24.0,
+        pcie_bandwidth_gbps=25.0,
+    ),
+    "a6000": HardwareSpec(
+        name="a6000",
+        fp16_tflops=77.4,
+        mem_bandwidth_gbps=768.0,
+        mem_capacity_gb=48.0,
+        pcie_bandwidth_gbps=25.0,
+    ),
+    "h200": HardwareSpec(
+        name="h200",
+        fp16_tflops=989.0,
+        mem_bandwidth_gbps=4800.0,
+        mem_capacity_gb=141.0,
+        pcie_bandwidth_gbps=50.0,
+    ),
+    "ascend910b": HardwareSpec(
+        name="ascend910b",
+        fp16_tflops=376.0,
+        mem_bandwidth_gbps=1600.0,
+        mem_capacity_gb=64.0,
+        pcie_bandwidth_gbps=25.0,
+    ),
+}
+
+
+def get_hardware(name: str) -> HardwareSpec:
+    """Look up a hardware spec by (case-insensitive) name."""
+    key = name.lower().replace("-", "").replace("_", "").replace(" ", "")
+    if key not in HARDWARE_SPECS:
+        known = ", ".join(sorted(HARDWARE_SPECS))
+        raise KeyError(f"unknown hardware {name!r}; known: {known}")
+    return HARDWARE_SPECS[key]

@@ -1,0 +1,110 @@
+"""Model specifications for the LLMs evaluated in the paper.
+
+Parameter counts and attention geometry come from the public model
+cards.  The quantity the serving system actually depends on is
+``kv_bytes_per_token`` — it sets KV-cache memory pressure and PCIe
+transfer volume — plus ``weight_bytes`` and FLOPs-per-token for the
+latency model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A decoder-only transformer used for serving.
+
+    Attributes:
+        name: canonical identifier.
+        n_params: total parameter count.
+        n_layers: transformer layer count.
+        hidden_size: model dimension.
+        n_heads: attention query heads.
+        n_kv_heads: key/value heads (GQA).
+        head_dim: per-head dimension.
+        dtype_bytes: bytes per element (2 = fp16/bf16).
+    """
+
+    name: str
+    n_params: float
+    n_layers: int
+    hidden_size: int
+    n_heads: int
+    n_kv_heads: int
+    head_dim: int
+    dtype_bytes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.n_params <= 0:
+            raise ValueError("n_params must be positive")
+        for field_name in ("n_layers", "hidden_size", "n_heads", "n_kv_heads", "head_dim"):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+        if self.n_kv_heads > self.n_heads:
+            raise ValueError("n_kv_heads cannot exceed n_heads")
+
+    @property
+    def weight_bytes(self) -> float:
+        """Bytes of model weights resident in device memory."""
+        return self.n_params * self.dtype_bytes
+
+    @property
+    def kv_bytes_per_token(self) -> int:
+        """KV-cache bytes per context token (K and V across all layers)."""
+        return 2 * self.n_layers * self.n_kv_heads * self.head_dim * self.dtype_bytes
+
+    @property
+    def flops_per_token(self) -> float:
+        """Approximate FLOPs to process one token (2 * params)."""
+        return 2.0 * self.n_params
+
+
+MODEL_SPECS: dict[str, ModelSpec] = {
+    "llama3-8b": ModelSpec(
+        name="llama3-8b",
+        n_params=8.0e9,
+        n_layers=32,
+        hidden_size=4096,
+        n_heads=32,
+        n_kv_heads=8,
+        head_dim=128,
+    ),
+    "qwen2-7b": ModelSpec(
+        name="qwen2-7b",
+        n_params=7.6e9,
+        n_layers=28,
+        hidden_size=3584,
+        n_heads=28,
+        n_kv_heads=4,
+        head_dim=128,
+    ),
+    "qwen2.5-7b": ModelSpec(
+        name="qwen2.5-7b",
+        n_params=7.6e9,
+        n_layers=28,
+        hidden_size=3584,
+        n_heads=28,
+        n_kv_heads=4,
+        head_dim=128,
+    ),
+    "qwen2.5-32b": ModelSpec(
+        name="qwen2.5-32b",
+        n_params=32.5e9,
+        n_layers=64,
+        hidden_size=5120,
+        n_heads=40,
+        n_kv_heads=8,
+        head_dim=128,
+    ),
+}
+
+
+def get_model(name: str) -> ModelSpec:
+    """Look up a model spec by (case-insensitive) name."""
+    key = name.lower().replace("_", "-").replace(" ", "")
+    if key not in MODEL_SPECS:
+        known = ", ".join(sorted(MODEL_SPECS))
+        raise KeyError(f"unknown model {name!r}; known: {known}")
+    return MODEL_SPECS[key]

@@ -1,0 +1,28 @@
+"""Hierarchical KV-cache memory substrate.
+
+Three layers:
+
+* :mod:`repro.memory.blocks` — block-granular pool allocators for the
+  GPU and CPU KV pools (PagedAttention-style accounting).
+* :mod:`repro.memory.pcie` — the host link: per-direction bandwidth
+  queues with chunked-transfer accounting (full duplex, as on PCIe).
+* :mod:`repro.memory.kv_manager` — TokenFlow's hierarchical KV cache
+  manager: write-through replication, synchronous chunked writing
+  sized to compute intervals, load-evict overlap, and the ablation
+  switches used by Table 2.
+"""
+
+from repro.memory.blocks import BlockPool, OutOfMemory
+from repro.memory.pcie import PCIeDirection, PCIeLink, TransferJob
+from repro.memory.kv_manager import HierarchicalKVManager, KVManagerConfig, KVRecord
+
+__all__ = [
+    "BlockPool",
+    "OutOfMemory",
+    "PCIeDirection",
+    "PCIeLink",
+    "TransferJob",
+    "HierarchicalKVManager",
+    "KVManagerConfig",
+    "KVRecord",
+]

@@ -1,0 +1,395 @@
+"""Hierarchical KV cache manager (paper §5).
+
+Manages each request's KV cache across the GPU pool (decode-capable)
+and the CPU pool (offload target), implementing TokenFlow's three
+memory techniques, each independently switchable for the Table 2
+ablation:
+
+* **Write-through** (§5.1): newly generated KV is continuously
+  replicated to host memory in the background, so at preemption time
+  only the small *dirty tail* still needs transferring.
+* **Synchronous chunked writing** (§5.2): replication steals exactly
+  the d2h idle time inside each compute interval, sized to the
+  executor's estimated iteration duration, so writes never stall the
+  scheduler.  Chunks are ordered by a scheduler-supplied priority
+  (requests with fatter buffers are likelier preemption victims).
+* **Load-evict overlap** (§5.3): loads (h2d) and evictions (d2h) run
+  concurrently on the full-duplex link and memory is reclaimed
+  incrementally; disabling it serialises loads behind pending
+  evictions, as reactive systems do.
+
+The manager is deliberately engine-aware: deferred block frees (the
+dirty tail's blocks are only reusable once its transfer completes) are
+scheduled as simulation events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.memory.blocks import BlockPool, OutOfMemory
+from repro.memory.pcie import PCIeLink
+from repro.sim.engine import SimEngine
+
+
+@dataclass(frozen=True)
+class KVManagerConfig:
+    """Switches and sizes for the KV manager.
+
+    Attributes:
+        block_size: tokens per KV block.
+        enable_offload: if False, preemption drops the KV cache
+            entirely and resumption must recompute (Table 2 "w/o
+            Offload").
+        write_through: if False, fall back to write-back — the full
+            context is transferred at preemption time (Table 2 "w/o
+            Write-Through").
+        load_evict_overlap: if False, loads wait for every pending
+            eviction to finish (Table 2 "w/o Evict-Load Overlap").
+        cpu_capacity_blocks: host pool capacity.
+    """
+
+    block_size: int = 16
+    enable_offload: bool = True
+    write_through: bool = True
+    load_evict_overlap: bool = True
+    cpu_capacity_blocks: int = 4_000_000
+
+
+@dataclass
+class KVRecord:
+    """Per-request KV placement state.
+
+    ``gpu_tokens`` is the decode-usable context on the GPU;
+    ``cpu_tokens`` the replicated prefix on the host.  The dirty tail
+    is ``gpu_tokens - cpu_tokens`` (never negative while resident).
+    """
+
+    req_id: int
+    gpu_tokens: int = 0
+    cpu_tokens: int = 0
+    resident: bool = False        # True while the request can decode
+    pending_free_blocks: int = 0  # blocks awaiting transfer completion
+
+    @property
+    def dirty_tokens(self) -> int:
+        return max(0, self.gpu_tokens - self.cpu_tokens)
+
+
+class HierarchicalKVManager:
+    """GPU/CPU KV cache coordinator for one serving instance."""
+
+    def __init__(
+        self,
+        engine: SimEngine,
+        gpu_capacity_blocks: int,
+        kv_bytes_per_token: float,
+        pcie_bandwidth_bytes_per_s: float,
+        config: Optional[KVManagerConfig] = None,
+    ) -> None:
+        self.engine = engine
+        self.config = config if config is not None else KVManagerConfig()
+        self.gpu_pool = BlockPool(gpu_capacity_blocks, self.config.block_size)
+        self.cpu_pool = BlockPool(self.config.cpu_capacity_blocks, self.config.block_size)
+        self.link = PCIeLink(pcie_bandwidth_bytes_per_s)
+        self.kv_bytes_per_token = float(kv_bytes_per_token)
+        self._records: dict[int, KVRecord] = {}
+        # Optional callback fired whenever deferred frees return blocks
+        # to the pool (the serving loop uses it to retry stalled work).
+        self.on_memory_freed: Optional[Callable[[], None]] = None
+        # Counters for the ablation/overhead analysis.
+        self.stats = {
+            "evictions": 0,
+            "loads": 0,
+            "recompute_drops": 0,
+            "write_through_bytes": 0.0,
+            "eviction_tail_bytes": 0.0,
+            "load_bytes": 0.0,
+        }
+
+    # --- helpers -------------------------------------------------------------
+    def record(self, req_id: int) -> KVRecord:
+        if req_id not in self._records:
+            raise KeyError(f"request {req_id} is not registered with the KV manager")
+        return self._records[req_id]
+
+    def _tokens_to_bytes(self, n_tokens: int) -> float:
+        return n_tokens * self.kv_bytes_per_token
+
+    def blocks_for_tokens(self, n_tokens: int) -> int:
+        return self.gpu_pool.blocks_for_tokens(n_tokens)
+
+    def gpu_free_blocks(self) -> int:
+        return self.gpu_pool.free
+
+    def can_allocate_tokens(self, n_tokens: int) -> bool:
+        return self.gpu_pool.can_allocate(self.blocks_for_tokens(n_tokens))
+
+    # --- request lifecycle -----------------------------------------------------
+    def register(self, req_id: int) -> KVRecord:
+        """Create the placement record for a new request."""
+        if req_id in self._records:
+            raise ValueError(f"request {req_id} already registered")
+        record = KVRecord(req_id=req_id)
+        self._records[req_id] = record
+        return record
+
+    def allocate_for_prefill(self, req_id: int, context_tokens: int) -> None:
+        """Reserve GPU blocks for a prefill of ``context_tokens``.
+
+        Raises :class:`OutOfMemory` if the pool cannot hold it; the
+        caller (scheduler/server) is responsible for checking first or
+        handling the failure.
+        """
+        record = self.record(req_id)
+        needed = self.blocks_for_tokens(context_tokens)
+        # Blocks whose eviction transfer is still in flight are not
+        # reusable: they will be released when the transfer completes.
+        held = self.gpu_pool.used_by(req_id) - record.pending_free_blocks
+        if needed > held:
+            self.gpu_pool.allocate(req_id, needed - held)
+
+    def on_prefill_complete(self, req_id: int, context_tokens: int) -> None:
+        """Mark ``context_tokens`` of KV as resident after a prefill."""
+        record = self.record(req_id)
+        record.gpu_tokens = context_tokens
+        record.resident = True
+        # A recompute resume regenerates KV the host already holds; the
+        # host copy stays valid, so only the excess is dirty.
+        record.cpu_tokens = min(record.cpu_tokens, context_tokens)
+
+    def on_decode_token(self, req_id: int) -> None:
+        """Grow the resident context by one generated token.
+
+        Allocates a new block when the context crosses a block
+        boundary; raises :class:`OutOfMemory` when the pool is full
+        (the server then triggers reactive preemption).
+        """
+        record = self.record(req_id)
+        if not record.resident:
+            raise RuntimeError(f"request {req_id} is not resident; cannot decode")
+        new_tokens = record.gpu_tokens + 1
+        needed = self.blocks_for_tokens(new_tokens)
+        held = self.gpu_pool.used_by(req_id) - record.pending_free_blocks
+        if needed > held:
+            self.gpu_pool.allocate(req_id, needed - held)
+        record.gpu_tokens = new_tokens
+
+    def release(self, req_id: int) -> None:
+        """Drop all state for a finished (or aborted) request."""
+        record = self._records.pop(req_id, None)
+        if record is None:
+            return
+        self.gpu_pool.release_all(req_id)
+        self.cpu_pool.release_all(req_id)
+
+    # --- write-through / chunked writing ---------------------------------------
+    def write_backlog_tokens(self) -> int:
+        """Dirty tokens across resident requests (write queue depth)."""
+        if not self.config.write_through:
+            return 0
+        return sum(r.dirty_tokens for r in self._records.values() if r.resident)
+
+    def write_backlog_bytes(self) -> float:
+        return self._tokens_to_bytes(self.write_backlog_tokens())
+
+    def drain_writes(
+        self,
+        now: float,
+        horizon: float,
+        priority: Optional[Callable[[int], float]] = None,
+    ) -> int:
+        """Synchronous chunked writing: replicate dirty KV during compute.
+
+        Writes as many dirty tokens as fit in the d2h direction's idle
+        time within ``[now, horizon]`` (the estimated duration of the
+        next compute iteration), highest ``priority(req_id)`` first.
+
+        Returns the number of tokens synced.
+        """
+        if not self.config.write_through or not self.config.enable_offload:
+            return 0
+        if not self.config.load_evict_overlap:
+            # Serialised transfers: writes may not overlap in-flight
+            # loads (the half-duplex baseline of §5.3).
+            now = max(now, self.link.h2d.busy_until())
+        budget_bytes = self.link.d2h.idle_bytes_within(now, horizon)
+        if budget_bytes <= 0:
+            return 0
+        dirty = [r for r in self._records.values() if r.resident and r.dirty_tokens > 0]
+        if not dirty:
+            return 0
+        if priority is not None:
+            dirty.sort(key=lambda r: priority(r.req_id), reverse=True)
+        synced_total = 0
+        for record in dirty:
+            if budget_bytes < self.kv_bytes_per_token:
+                break
+            affordable = int(budget_bytes // self.kv_bytes_per_token)
+            n_sync = min(record.dirty_tokens, affordable)
+            if n_sync <= 0:
+                continue
+            if not self._grow_cpu_copy(record, record.cpu_tokens + n_sync):
+                continue  # host pool exhausted; skip this request
+            nbytes = self._tokens_to_bytes(n_sync)
+            self.link.d2h.occupy(nbytes, now)
+            record.cpu_tokens += n_sync
+            budget_bytes -= nbytes
+            synced_total += n_sync
+            self.stats["write_through_bytes"] += nbytes
+        return synced_total
+
+    def _grow_cpu_copy(self, record: KVRecord, target_tokens: int) -> bool:
+        """Ensure the host pool holds blocks for ``target_tokens``."""
+        needed = self.cpu_pool.blocks_for_tokens(target_tokens)
+        held = self.cpu_pool.used_by(record.req_id)
+        if needed <= held:
+            return True
+        if not self.cpu_pool.can_allocate(needed - held):
+            return False
+        self.cpu_pool.allocate(record.req_id, needed - held)
+        return True
+
+    # --- preemption -----------------------------------------------------------
+    def preempt(self, req_id: int, now: float) -> float:
+        """Offload (or drop) a resident request's KV cache.
+
+        Returns the time at which the request's GPU memory is fully
+        reclaimed.  With write-through, already-synced blocks are freed
+        immediately and only the dirty tail pays a transfer; with
+        write-back the full context is written out; with offload
+        disabled the cache is simply dropped (resume must recompute).
+        """
+        record = self.record(req_id)
+        if not record.resident:
+            raise RuntimeError(f"request {req_id} is not resident; cannot preempt")
+        record.resident = False
+        if not self.config.enable_offload:
+            self.gpu_pool.release_all(req_id)
+            self.cpu_pool.release_all(req_id)
+            record.cpu_tokens = 0
+            record.gpu_tokens = 0
+            self.stats["recompute_drops"] += 1
+            return now
+        self.stats["evictions"] += 1
+        dirty = record.dirty_tokens if self.config.write_through else record.gpu_tokens
+        if dirty > 0 and not self._grow_cpu_copy(record, record.gpu_tokens):
+            # Host pool full: degrade to a drop (rare, but must not wedge).
+            self.gpu_pool.release_all(req_id)
+            self.cpu_pool.release_all(req_id)
+            record.cpu_tokens = 0
+            record.gpu_tokens = 0
+            self.stats["recompute_drops"] += 1
+            return now
+        total_blocks = self.gpu_pool.used_by(req_id)
+        dirty_blocks = self.gpu_pool.blocks_for_tokens(dirty)
+        clean_blocks = max(0, total_blocks - dirty_blocks)
+        if clean_blocks > 0:
+            self.gpu_pool.release(req_id, clean_blocks)
+        if dirty > 0:
+            nbytes = self._tokens_to_bytes(dirty)
+            earliest = 0.0
+            if not self.config.load_evict_overlap:
+                # Serialised transfers: the eviction waits for loads.
+                earliest = self.link.h2d.busy_until()
+            job = self.link.d2h.submit(nbytes, now, earliest_start=earliest)
+            self.stats["eviction_tail_bytes"] += nbytes
+            record.cpu_tokens = record.gpu_tokens
+            record.pending_free_blocks += dirty_blocks
+            self.engine.call_at(
+                job.end,
+                lambda: self._complete_eviction(req_id, dirty_blocks),
+                label=f"evict-done:{req_id}",
+            )
+            done = job.end
+        else:
+            if dirty_blocks > 0:
+                self.gpu_pool.release(req_id, dirty_blocks)
+            done = now
+        record.gpu_tokens = 0
+        return done
+
+    def _complete_eviction(self, req_id: int, n_blocks: int) -> None:
+        record = self._records.get(req_id)
+        if record is None:
+            return  # request finished/aborted meanwhile
+        release = min(n_blocks, self.gpu_pool.used_by(req_id), record.pending_free_blocks)
+        if release > 0:
+            self.gpu_pool.release(req_id, release)
+        record.pending_free_blocks = max(0, record.pending_free_blocks - n_blocks)
+        if release > 0 and self.on_memory_freed is not None:
+            self.on_memory_freed()
+
+    # --- resumption -----------------------------------------------------------
+    def can_resume_load(self, req_id: int) -> bool:
+        """True if the host holds a copy and the GPU pool has room."""
+        record = self.record(req_id)
+        if record.cpu_tokens <= 0 or not self.config.enable_offload:
+            return False
+        needed = self.blocks_for_tokens(record.cpu_tokens)
+        held = self.gpu_pool.used_by(req_id) - record.pending_free_blocks
+        return self.gpu_pool.can_allocate(max(0, needed - max(0, held)))
+
+    def resume_load(self, req_id: int, now: float) -> float:
+        """Start loading a preempted request's KV back to the GPU.
+
+        GPU blocks are reserved immediately (the transfer lands into
+        them); returns the transfer completion time at which the
+        request becomes decode-usable again.
+        """
+        record = self.record(req_id)
+        if record.resident:
+            raise RuntimeError(f"request {req_id} is already resident")
+        if record.cpu_tokens <= 0:
+            raise RuntimeError(f"request {req_id} has no host copy; recompute instead")
+        needed = self.blocks_for_tokens(record.cpu_tokens)
+        held = max(0, self.gpu_pool.used_by(req_id) - record.pending_free_blocks)
+        if needed > held:
+            self.gpu_pool.allocate(req_id, needed - held)
+        earliest = 0.0
+        if not self.config.load_evict_overlap:
+            earliest = self.link.d2h.busy_until()
+        nbytes = self._tokens_to_bytes(record.cpu_tokens)
+        job = self.link.h2d.submit(nbytes, now, earliest_start=earliest)
+        self.stats["loads"] += 1
+        self.stats["load_bytes"] += nbytes
+        record.gpu_tokens = record.cpu_tokens
+        record.resident = True
+        return job.end
+
+    def prepare_recompute(self, req_id: int) -> None:
+        """Drop the host copy ahead of a recompute-based resume."""
+        record = self.record(req_id)
+        if record.resident:
+            raise RuntimeError(f"request {req_id} is resident; nothing to recompute")
+        self.cpu_pool.release_all(req_id)
+        record.cpu_tokens = 0
+
+    # --- estimators (feed the scheduler) ----------------------------------------
+    def estimate_io_time(self, context_tokens: int, dirty_tokens: int, now: float) -> float:
+        """Estimate t_IO = evict queueing + evict + load queueing + load.
+
+        Mirrors the paper §4.2.3 decomposition using current queue
+        horizons and profiled (configured) bandwidth.
+        """
+        evict_bytes = self._tokens_to_bytes(dirty_tokens)
+        load_bytes = self._tokens_to_bytes(context_tokens)
+        t_evict_q = self.link.d2h.queueing_delay(now)
+        t_evict = self.link.d2h.transfer_seconds(evict_bytes)
+        t_load_q = self.link.h2d.queueing_delay(now)
+        t_load = self.link.h2d.transfer_seconds(load_bytes)
+        return t_evict_q + t_evict + t_load_q + t_load
+
+    def resident_requests(self) -> Iterable[int]:
+        return [rid for rid, record in self._records.items() if record.resident]
+
+    def check_invariants(self) -> None:
+        """Pool-level consistency checks for property tests."""
+        self.gpu_pool.check_invariants()
+        self.cpu_pool.check_invariants()
+        for record in self._records.values():
+            assert record.cpu_tokens >= 0 and record.gpu_tokens >= 0
+            if record.resident:
+                held = self.gpu_pool.used_by(record.req_id)
+                assert held >= self.gpu_pool.blocks_for_tokens(record.gpu_tokens) - record.pending_free_blocks

@@ -1,0 +1,36 @@
+"""End-to-end serving system wiring.
+
+:class:`~repro.serving.server.ServingSystem` connects arrivals, the
+scheduler (TokenFlow or a baseline), the iteration-level executor, the
+hierarchical KV manager, and per-request client buffers on one
+discrete-event engine, and produces a :class:`~repro.serving.metrics.RunReport`.
+"""
+
+from repro.serving.cluster import ClusterReport, ServingCluster
+from repro.serving.config import ServingConfig
+from repro.serving.export import (
+    load_report_json,
+    report_to_dict,
+    save_report_json,
+    save_token_trace_jsonl,
+)
+from repro.serving.interface import BaseScheduler, SchedulerDecision, SystemView
+from repro.serving.metrics import RequestMetrics, RunReport, build_report
+from repro.serving.server import ServingSystem
+
+__all__ = [
+    "ClusterReport",
+    "ServingCluster",
+    "ServingConfig",
+    "load_report_json",
+    "report_to_dict",
+    "save_report_json",
+    "save_token_trace_jsonl",
+    "BaseScheduler",
+    "SchedulerDecision",
+    "SystemView",
+    "RequestMetrics",
+    "RunReport",
+    "build_report",
+    "ServingSystem",
+]

@@ -1,0 +1,165 @@
+"""Multi-instance serving cluster (paper §8, "Scaling TokenFlow").
+
+The paper argues TokenFlow's single-node scheduling generalises to
+multi-node serving by adding a dispatch layer above per-node
+schedulers.  This module implements that layer: N independent
+:class:`~repro.serving.server.ServingSystem` instances share one
+discrete-event engine, and a dispatcher routes each arriving request
+to an instance.  Each node then runs its own buffer-aware scheduler
+and hierarchical KV manager exactly as in the single-node system.
+
+Dispatch policies:
+
+* ``round_robin`` — arrival order striping.
+* ``least_loaded`` — fewest unfinished requests (default).
+* ``least_queued`` — shortest waiting+prefill queue at arrival.
+
+The inter-node KV layer the paper sketches (migrating offloaded
+context between nodes over RDMA) is intentionally out of scope: the
+dispatcher never moves a request after placement, which matches
+today's deployed LLM routers (e.g. Llumnix-style rebalancing is
+future work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.serving.config import ServingConfig
+from repro.serving.metrics import RunReport, build_report
+from repro.serving.server import ServingSystem
+from repro.sim.engine import SimEngine
+
+DISPATCH_POLICIES = ("round_robin", "least_loaded", "least_queued")
+
+
+@dataclass
+class ClusterReport:
+    """Aggregate results across cluster instances."""
+
+    per_instance: list = field(default_factory=list)  # RunReport each
+    n_requests: int = 0
+    n_finished: int = 0
+    total_tokens: int = 0
+    throughput: float = 0.0
+    effective_throughput: float = 0.0
+    ttft_mean: float = 0.0
+    ttft_p99: float = 0.0
+    stall_total: float = 0.0
+    preemptions: int = 0
+
+
+class ServingCluster:
+    """N serving instances + an arrival dispatcher on one engine."""
+
+    def __init__(
+        self,
+        configs: Sequence,
+        scheduler_factory: Callable[[], object],
+        dispatch: str = "least_loaded",
+        engine: Optional[SimEngine] = None,
+    ) -> None:
+        if not configs:
+            raise ValueError("need at least one instance config")
+        if dispatch not in DISPATCH_POLICIES:
+            raise ValueError(
+                f"dispatch must be one of {DISPATCH_POLICIES}, got {dispatch!r}"
+            )
+        self.engine = engine if engine is not None else SimEngine()
+        self.dispatch = dispatch
+        self.instances = [
+            ServingSystem(config, scheduler_factory(), engine=self.engine)
+            for config in configs
+        ]
+        self._rr_next = 0
+        self.placements: dict = {}   # req_id -> instance index
+
+    @classmethod
+    def homogeneous(
+        cls,
+        n_instances: int,
+        scheduler_factory: Callable[[], object],
+        dispatch: str = "least_loaded",
+        **config_kwargs,
+    ) -> "ServingCluster":
+        """Build ``n_instances`` identical nodes."""
+        if n_instances <= 0:
+            raise ValueError("n_instances must be positive")
+        configs = [ServingConfig(**config_kwargs) for _ in range(n_instances)]
+        return cls(configs, scheduler_factory, dispatch=dispatch)
+
+    # --- dispatch -------------------------------------------------------------
+    def _pick_instance(self) -> int:
+        if self.dispatch == "round_robin":
+            idx = self._rr_next
+            self._rr_next = (self._rr_next + 1) % len(self.instances)
+            return idx
+        if self.dispatch == "least_loaded":
+            return min(
+                range(len(self.instances)),
+                key=lambda i: self.instances[i].unfinished,
+            )
+        # least_queued
+        return min(
+            range(len(self.instances)),
+            key=lambda i: len(self.instances[i].waiting)
+            + len(self.instances[i].prefill_queue),
+        )
+
+    def submit(self, requests: Sequence) -> None:
+        """Register arrivals; each is dispatched at its arrival time."""
+        for request in requests:
+            if request.arrival_time < self.engine.now():
+                raise ValueError(
+                    f"request {request.req_id} arrives in the past"
+                )
+            self.engine.call_at(
+                request.arrival_time,
+                lambda r=request: self._dispatch(r),
+                label=f"dispatch:{request.req_id}",
+            )
+
+    def _dispatch(self, request) -> None:
+        idx = self._pick_instance()
+        self.placements[request.req_id] = idx
+        self.instances[idx].submit([request])
+
+    # --- running / reporting -----------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        return self.engine.run(until=until)
+
+    @property
+    def unfinished(self) -> int:
+        return sum(instance.unfinished for instance in self.instances)
+
+    def report(self) -> ClusterReport:
+        """Aggregate per-instance reports into cluster totals."""
+        reports = [instance.report() for instance in self.instances]
+        cluster = ClusterReport(per_instance=reports)
+        ttfts: list = []
+        makespan = max((r.makespan for r in reports if r.n_requests), default=1e-9)
+        for report in reports:
+            cluster.n_requests += report.n_requests
+            cluster.n_finished += report.n_finished
+            cluster.total_tokens += report.total_tokens
+            cluster.effective_throughput += report.effective_tokens / makespan
+            cluster.stall_total += report.stall_total
+            cluster.preemptions += report.preemptions
+            ttfts.extend(
+                m.ttft for m in report.per_request if m.ttft is not None
+            )
+        cluster.throughput = cluster.total_tokens / makespan
+        if ttfts:
+            ttfts.sort()
+            cluster.ttft_mean = sum(ttfts) / len(ttfts)
+            idx = min(len(ttfts) - 1, int(round(0.99 * (len(ttfts) - 1))))
+            cluster.ttft_p99 = ttfts[idx]
+        return cluster
+
+    def placement_counts(self) -> list:
+        """Requests routed to each instance (load-balance check)."""
+        counts = [0] * len(self.instances)
+        for idx in self.placements.values():
+            counts[idx] += 1
+        return counts

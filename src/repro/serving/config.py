@@ -1,0 +1,93 @@
+"""Serving-system configuration.
+
+Pins the hardware, model, memory split, batching, and KV-manager
+behaviour of one serving instance.  Schedulers are configured
+separately and passed alongside the config, so the same
+:class:`ServingConfig` can be reused across policies in a comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.gpu.hardware import HardwareSpec, get_hardware
+from repro.gpu.models import ModelSpec, get_model
+from repro.memory.kv_manager import KVManagerConfig
+
+
+@dataclass
+class ServingConfig:
+    """Static configuration of one serving instance.
+
+    Attributes:
+        hardware: hardware spec or its name (e.g. "h200").
+        model: model spec or its name (e.g. "llama3-8b").
+        mem_frac: fraction of device memory given to the KV pool.
+            ``None`` derives it from what is left after weights (with
+            a 10 % reserve for activations/fragmentation).  The paper's
+            H200 experiments start at 0.3 (§7.3).
+        block_size: tokens per KV block.
+        max_batch: hard cap on concurrent decode requests.
+        max_prefill_tokens: per-iteration prefill token budget.
+        chunked_prefill: split prompts into chunks (SGLang-chunked).
+        prefill_chunk_size: chunk size when chunking is active.
+        kv: KV-manager behaviour switches (Table 2 ablations).
+    """
+
+    hardware: Union[str, HardwareSpec] = "h200"
+    model: Union[str, ModelSpec] = "llama3-8b"
+    mem_frac: Optional[float] = None
+    block_size: int = 16
+    max_batch: int = 128
+    max_prefill_tokens: int = 8192
+    chunked_prefill: bool = False
+    prefill_chunk_size: int = 2048
+    kv: KVManagerConfig = field(default_factory=KVManagerConfig)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.hardware, str):
+            self.hardware = get_hardware(self.hardware)
+        if isinstance(self.model, str):
+            self.model = get_model(self.model)
+        if self.mem_frac is not None and not 0 < self.mem_frac < 1:
+            raise ValueError("mem_frac must be in (0, 1)")
+        if self.block_size <= 0:
+            raise ValueError("block_size must be positive")
+        if self.max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        if self.max_prefill_tokens <= 0:
+            raise ValueError("max_prefill_tokens must be positive")
+        if self.prefill_chunk_size <= 0:
+            raise ValueError("prefill_chunk_size must be positive")
+        # Keep the KV config's block size consistent with ours.
+        if self.kv.block_size != self.block_size:
+            object.__setattr__(self.kv, "block_size", self.block_size)
+        if self.resolved_mem_frac() <= 0:
+            raise ValueError(
+                f"model {self.model.name} weights do not leave KV room on "
+                f"{self.hardware.name}"
+            )
+
+    def resolved_mem_frac(self) -> float:
+        """The KV pool's share of device memory."""
+        if self.mem_frac is not None:
+            return self.mem_frac
+        leftover = 1.0 - self.model.weight_bytes / self.hardware.mem_capacity_bytes
+        return max(0.0, leftover - 0.10)
+
+    def kv_pool_bytes(self) -> float:
+        return self.hardware.mem_capacity_bytes * self.resolved_mem_frac()
+
+    def kv_capacity_tokens(self) -> int:
+        """Tokens of KV cache the GPU pool can hold."""
+        return int(self.kv_pool_bytes() // self.model.kv_bytes_per_token)
+
+    def kv_capacity_blocks(self) -> int:
+        capacity = self.kv_capacity_tokens() // self.block_size
+        if capacity <= 0:
+            raise ValueError(
+                f"KV pool too small: {self.kv_pool_bytes():.2e} bytes holds no "
+                f"{self.block_size}-token block of {self.model.name}"
+            )
+        return capacity

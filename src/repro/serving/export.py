@@ -1,0 +1,106 @@
+"""Run-report serialization: dicts, JSON, and JSONL token traces.
+
+Downstream analysis (notebooks, plotting, regression tracking) wants
+machine-readable run output; this module converts
+:class:`~repro.serving.metrics.RunReport` objects and per-request
+token traces to plain data structures and files.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.core.tracker import RequestTracker
+from repro.serving.metrics import RunReport
+
+
+def report_to_dict(report: RunReport, include_requests: bool = True) -> dict:
+    """Convert a report to JSON-safe primitives."""
+    payload = {
+        "system": report.system,
+        "n_requests": report.n_requests,
+        "n_finished": report.n_finished,
+        "makespan_s": report.makespan,
+        "total_tokens": report.total_tokens,
+        "throughput_tok_s": report.throughput,
+        "effective_tokens": report.effective_tokens,
+        "effective_throughput_tok_s": report.effective_throughput,
+        "qos": report.qos,
+        "ttft_mean_s": report.ttft_mean,
+        "ttft_p50_s": report.ttft_p50,
+        "ttft_p99_s": report.ttft_p99,
+        "stall_total_s": report.stall_total,
+        "stall_mean_s": report.stall_mean,
+        "preemptions": report.preemptions,
+        "executor_stats": dict(report.executor_stats),
+        "kv_stats": _jsonable(report.kv_stats),
+        "scheduler_stats": _jsonable(report.scheduler_stats),
+    }
+    if include_requests:
+        payload["per_request"] = [
+            dataclasses.asdict(metrics) for metrics in report.per_request
+        ]
+    return payload
+
+
+def _jsonable(value):
+    """Recursively coerce stats containers to JSON-safe types."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def save_report_json(
+    report: RunReport, path: Union[str, Path], include_requests: bool = True
+) -> Path:
+    """Write a report as pretty-printed JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(report_to_dict(report, include_requests), handle, indent=2)
+        handle.write("\n")
+    return path
+
+
+def save_token_trace_jsonl(tracker: RequestTracker, path: Union[str, Path]) -> Path:
+    """Write one JSONL record per request with its full token timeline.
+
+    Each record carries generation timestamps, consumption timestamps,
+    and the buffer occupancy at each token's generation instant — the
+    raw material behind Figs. 5/18 style plots.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        for entry in tracker.entries():
+            request, buffer = entry.request, entry.buffer
+            record = {
+                "req_id": request.req_id,
+                "arrival_time": request.arrival_time,
+                "prompt_len": request.prompt_len,
+                "output_len": request.output_len,
+                "rate": request.rate,
+                "is_agent": request.is_agent,
+                "ttft": request.ttft,
+                "finish_time": request.finish_time,
+                "preemptions": request.preemption_count,
+                "generation_times": buffer.generation_times,
+                "consumption_times": buffer.consumption_times,
+                "occupancy_at_generation": buffer.occupancy_at_generation,
+                "stall_time": buffer.stall_time,
+            }
+            handle.write(json.dumps(record) + "\n")
+    return path
+
+
+def load_report_json(path: Union[str, Path]) -> dict:
+    """Read back a saved report dict."""
+    with open(path) as handle:
+        return json.load(handle)

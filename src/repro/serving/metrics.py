@@ -1,0 +1,164 @@
+"""Run metrics: per-request records and aggregate report.
+
+Computes every metric the paper evaluates (§7.1.3): TTFT (mean / P50 /
+P99), raw token throughput, *effective* throughput (tokens weighted by
+buffer occupancy, τ₁ = 10 % / τ₂ = 20 % of output length), the QoS
+score of Eq. 2, stall/rebuffer totals, and preemption/IO counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.stats import summarize
+from repro.core.qos import QoSParams, effective_token_count, request_qos_terms
+from repro.core.tracker import RequestTracker
+
+
+@dataclass(frozen=True)
+class RequestMetrics:
+    """Final per-request measurements."""
+
+    req_id: int
+    arrival_time: float
+    ttft: Optional[float]
+    finish_time: Optional[float]
+    generated: int
+    output_len: int
+    rate: float
+    stall_time: float
+    effective_tokens: float
+    preemptions: int
+    qos_term: float
+
+
+@dataclass
+class RunReport:
+    """Aggregate results of one serving run."""
+
+    system: str
+    n_requests: int
+    n_finished: int
+    makespan: float
+    total_tokens: int
+    throughput: float
+    effective_tokens: float
+    effective_throughput: float
+    qos: float
+    ttft_mean: float
+    ttft_p50: float
+    ttft_p99: float
+    stall_total: float
+    stall_mean: float
+    preemptions: int
+    per_request: list = field(default_factory=list)
+    timeline: list = field(default_factory=list)  # (t, queued, running)
+    executor_stats: dict = field(default_factory=dict)
+    kv_stats: dict = field(default_factory=dict)
+    scheduler_stats: dict = field(default_factory=dict)
+
+    def summary_row(self) -> list:
+        """The four headline metrics as a table row."""
+        return [
+            self.system,
+            round(self.effective_throughput, 1),
+            round(self.throughput, 1),
+            round(self.ttft_mean, 3),
+            round(self.ttft_p99, 3),
+        ]
+
+    @staticmethod
+    def summary_headers() -> list:
+        return ["system", "eff_thpt(tok/s)", "thpt(tok/s)", "mean_ttft(s)", "p99_ttft(s)"]
+
+
+def build_report(
+    system: str,
+    tracker: RequestTracker,
+    makespan: float,
+    qos_params: Optional[QoSParams] = None,
+    timeline: Optional[list] = None,
+    executor_stats: Optional[dict] = None,
+    kv_stats: Optional[dict] = None,
+    scheduler_stats: Optional[dict] = None,
+) -> RunReport:
+    """Assemble a :class:`RunReport` from tracker state.
+
+    ``makespan`` is the overall request-process time T of Eq. 2 —
+    first arrival to last activity.
+    """
+    params = qos_params if qos_params is not None else QoSParams()
+    per_request: list = []
+    total_tokens = 0
+    effective_total = 0.0
+    qos_terms: list = []
+    ttfts: list = []
+    stalls: list = []
+    preemptions = 0
+    n_finished = 0
+    for entry in tracker.entries():
+        request, buffer = entry.request, entry.buffer
+        occupancies = buffer.occupancy_at_generation
+        effective = effective_token_count(occupancies, request.output_len)
+        ttft = request.ttft
+        # Agent clients (§8) have no real-time consumer: their
+        # reference rate is a priority signal, so "stalls" against it
+        # carry no experience penalty.
+        rebuffer = 0.0 if request.is_agent else buffer.stall_time
+        qos_term = request_qos_terms(
+            occupancies,
+            request.output_len,
+            ttft if ttft is not None else makespan,
+            rebuffer,
+            params,
+        )
+        per_request.append(
+            RequestMetrics(
+                req_id=request.req_id,
+                arrival_time=request.arrival_time,
+                ttft=ttft,
+                finish_time=request.finish_time,
+                generated=request.generated,
+                output_len=request.output_len,
+                rate=request.rate,
+                stall_time=buffer.stall_time,
+                effective_tokens=effective,
+                preemptions=request.preemption_count,
+                qos_term=qos_term,
+            )
+        )
+        total_tokens += request.generated
+        effective_total += effective
+        qos_terms.append(qos_term)
+        preemptions += request.preemption_count
+        if ttft is not None:
+            ttfts.append(ttft)
+        stalls.append(buffer.stall_time)
+        if request.is_finished:
+            n_finished += 1
+
+    makespan = max(makespan, 1e-9)
+    ttft_summary = summarize(ttfts) if ttfts else None
+    return RunReport(
+        system=system,
+        n_requests=len(per_request),
+        n_finished=n_finished,
+        makespan=makespan,
+        total_tokens=total_tokens,
+        throughput=total_tokens / makespan,
+        effective_tokens=effective_total,
+        effective_throughput=effective_total / makespan,
+        qos=sum(qos_terms) / makespan,
+        ttft_mean=ttft_summary.mean if ttft_summary else float("nan"),
+        ttft_p50=ttft_summary.p50 if ttft_summary else float("nan"),
+        ttft_p99=ttft_summary.p99 if ttft_summary else float("nan"),
+        stall_total=float(sum(stalls)),
+        stall_mean=float(sum(stalls)) / max(1, len(stalls)),
+        preemptions=preemptions,
+        per_request=per_request,
+        timeline=timeline if timeline is not None else [],
+        executor_stats=executor_stats if executor_stats is not None else {},
+        kv_stats=kv_stats if kv_stats is not None else {},
+        scheduler_stats=scheduler_stats if scheduler_stats is not None else {},
+    )

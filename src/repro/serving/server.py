@@ -1,0 +1,525 @@
+"""The serving loop: arrivals -> scheduler -> executor -> KV -> clients.
+
+Mirrors the paper's Figure 3/4 workflow on the discrete-event engine:
+
+* requests arrive as events, register with the Request Tracker and the
+  KV manager, and queue;
+* the loop runs one iteration at a time (a prefill batch or one decode
+  step); iteration durations come from the roofline latency model;
+* scheduler *ticks* fire every ``tick_interval`` but their decisions
+  are applied at iteration boundaries (real systems preempt between
+  iterations, never mid-kernel);
+* at the start of each iteration the chunked writer steals the
+  estimated compute interval to replicate dirty KV (§5.2), ordered by
+  buffer occupancy (fat buffers = likely preemption victims);
+* generated tokens flow into per-request client buffers, which drain
+  at each request's consumption rate and account stalls.
+
+The loop never decodes "for" a policy: all admission, preemption and
+resumption comes from the pluggable scheduler, so baselines and
+TokenFlow run on identical machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.offload import RequestOffloadManager
+from repro.core.qos import QoSParams
+from repro.core.tracker import RequestTracker
+from repro.gpu.executor import LLMExecutor
+from repro.gpu.latency import LatencyModel
+from repro.memory.blocks import OutOfMemory
+from repro.memory.kv_manager import HierarchicalKVManager
+from repro.serving.config import ServingConfig
+from repro.serving.interface import BaseScheduler, SystemView
+from repro.serving.metrics import RunReport, build_report
+from repro.sim.engine import SimEngine
+from repro.workload.request import Request, RequestState
+
+
+class ServingSystem:
+    """One simulated serving instance (hardware + model + scheduler)."""
+
+    def __init__(
+        self,
+        config: ServingConfig,
+        scheduler: BaseScheduler,
+        engine: Optional[SimEngine] = None,
+        qos_params: Optional[QoSParams] = None,
+        rate_controller=None,
+        tracer=None,
+    ) -> None:
+        self.config = config
+        self.scheduler = scheduler
+        # Optional §8 adaptive reference-rate controller for agent
+        # clients; invoked once per scheduler tick.
+        self.rate_controller = rate_controller
+        # Optional structured trace sink (repro.sim.trace.TraceRecorder).
+        self.tracer = tracer
+        # Optional callback fired when a request finishes (multi-turn
+        # session drivers use it to schedule follow-up turns).
+        self.on_request_finished = None
+        self.engine = engine if engine is not None else SimEngine()
+        self.qos_params = qos_params if qos_params is not None else QoSParams()
+
+        self.latency = LatencyModel(config.hardware, config.model)
+        self.executor = LLMExecutor(self.latency, config.max_prefill_tokens)
+        self.kv = HierarchicalKVManager(
+            engine=self.engine,
+            gpu_capacity_blocks=config.kv_capacity_blocks(),
+            kv_bytes_per_token=config.model.kv_bytes_per_token,
+            pcie_bandwidth_bytes_per_s=config.hardware.pcie_bytes_per_s,
+            config=config.kv,
+        )
+        self.kv.on_memory_freed = self._kick
+        self.tracker = RequestTracker()
+
+        # Request queues (state-machine mirrors).
+        self.waiting: list = []
+        self.prefill_queue: list = []
+        self.running: list = []
+        self.preempted: list = []
+        self.loading: list = []
+        self.finished: list = []
+
+        self.offload = RequestOffloadManager(
+            engine=self.engine,
+            tracker=self.tracker,
+            kv=self.kv,
+            waiting=self.waiting,
+            prefill_queue=self.prefill_queue,
+            running=self.running,
+            preempted=self.preempted,
+            loading=self.loading,
+            on_state_change=self._kick,
+            on_swap_observed=self._observe_swap,
+        )
+
+        self._chunked = config.chunked_prefill or getattr(
+            scheduler, "wants_chunked_prefill", False
+        )
+        self._busy = False            # an iteration is in flight
+        self._in_scheduler = False    # re-entrancy guard for _kick
+        self._tick_due = False
+        self._tick_scheduled = False
+        self._unfinished = 0
+        self.timeline: list = []      # (t, queued, running) samples
+        self._last_token_time = 0.0
+        self._decodes_since_prefill = 0
+        self._prefill_defer_cap = 16      # progress guarantee for prefill
+        self._prefill_defer_margin = 0.05  # seconds of buffer slack required
+        # Amortised per-token prefill cost, for dynamic partitioning.
+        self._per_token_prefill_s = self.latency.prefill_time([2048]) / 2048.0
+
+    # --- submission ------------------------------------------------------------
+    def submit(self, requests: list) -> None:
+        """Register future arrivals with the event engine."""
+        for request in requests:
+            if request.arrival_time < self.engine.now():
+                raise ValueError(
+                    f"request {request.req_id} arrives in the past "
+                    f"({request.arrival_time} < {self.engine.now()})"
+                )
+            self._unfinished += 1
+            self.engine.call_at(
+                request.arrival_time,
+                lambda r=request: self._on_arrival(r),
+                label=f"arrival:{request.req_id}",
+            )
+
+    def _on_arrival(self, request: Request) -> None:
+        if self.tracer is not None:
+            self.tracer.record(self.engine.now(), "request", "arrive",
+                               req_id=request.req_id)
+        self.tracker.register(request)
+        self.kv.register(request.req_id)
+        self.waiting.append(request)
+        self._ensure_tick_scheduled()
+        self._kick()
+
+    # --- scheduler ticks ----------------------------------------------------------
+    def _ensure_tick_scheduled(self) -> None:
+        interval = self.scheduler.tick_interval
+        if interval is None or self._tick_scheduled or self._unfinished == 0:
+            return
+        self._tick_scheduled = True
+        self.engine.call_after(interval, self._on_tick_event, label="sched-tick")
+
+    def _on_tick_event(self) -> None:
+        self._tick_scheduled = False
+        self._tick_due = True
+        self._kick()
+        self._ensure_tick_scheduled()
+
+    # --- the loop ----------------------------------------------------------------
+    def _kick(self) -> None:
+        """Try to start the next iteration (idempotent, re-entrancy safe)."""
+        if self._busy or self._in_scheduler:
+            return
+        self._in_scheduler = True
+        try:
+            self._start_iteration()
+        finally:
+            self._in_scheduler = False
+
+    def _start_iteration(self) -> None:
+        overhead = 0.0
+        if self._tick_due:
+            self._tick_due = False
+            if self.rate_controller is not None:
+                self.rate_controller.adjust(self)
+            decision = self.scheduler.on_tick(self.view())
+            self.offload.execute(decision)
+            overhead += self.scheduler.scheduling_cost_s()
+        boundary = self.scheduler.on_iteration_boundary(self.view())
+        self.offload.execute(boundary)
+        overhead += self.scheduler.scheduling_cost_s()
+
+        entries = self._plan_prefill()
+        if entries and self._should_defer_prefill(entries):
+            entries = []
+        if entries:
+            self._decodes_since_prefill = 0
+            self._run_prefill(entries, overhead)
+            return
+        batch = self._plan_decode()
+        if batch:
+            self._decodes_since_prefill += 1
+            self._run_decode(batch, overhead)
+            return
+        self._sample_timeline()
+
+    def _prefill_token_budget(self) -> int:
+        """Per-iteration prefill budget, dynamically partitioned (§4.2.3).
+
+        For buffer-aware schedulers the budget shrinks so the prefill
+        iteration fits inside the running batch's smallest buffer —
+        prefills then never stall an active stream.  A floor keeps
+        prefill progressing even when every buffer is thin (the defer
+        cap bounds how often that floor is exercised).
+        """
+        budget = self.config.max_prefill_tokens
+        if not getattr(self.scheduler, "decode_priority_aware", False) or not self.running:
+            return budget
+        now = self.engine.now()
+        min_buffer = min(
+            self.tracker.buffer_seconds(request.req_id, now) for request in self.running
+        )
+        slack = min_buffer - self._prefill_defer_margin
+        dyn = int(slack / self._per_token_prefill_s) if slack > 0 else 0
+        floor = min(256, budget)
+        return max(floor, min(budget, dyn))
+
+    def _should_defer_prefill(self, entries: list) -> bool:
+        """Buffer-aware prefill/decode interleaving (§4.2.3).
+
+        Schedulers that opt in (``decode_priority_aware``) defer a
+        prefill iteration when some running request's buffer would
+        drain during it — latency-sensitive decodes bypass the prefill
+        batch.  A progress cap guarantees prefill is never starved.
+        """
+        if not getattr(self.scheduler, "decode_priority_aware", False):
+            return False
+        if not self.running:
+            return False
+        if self._decodes_since_prefill >= self._prefill_defer_cap:
+            return False
+        plan = self.executor.plan_prefill(
+            [(request.req_id, chunk) for request, chunk in entries]
+        )
+        now = self.engine.now()
+        min_buffer = min(
+            self.tracker.buffer_seconds(request.req_id, now) for request in self.running
+        )
+        return min_buffer < plan.duration + self._prefill_defer_margin
+
+    # --- prefill path -----------------------------------------------------------
+    def _plan_prefill(self) -> list:
+        """Pick (request, chunk_tokens) pairs for the next prefill.
+
+        Fresh requests reserve prompt+1 tokens (room for the first
+        output token); recompute resumes reserve their full context.
+        FCFS within the prefill queue; head-of-line blocks on memory,
+        which is exactly the SGLang behaviour TokenFlow's admission
+        control avoids triggering.
+        """
+        entries: list = []
+        budget = self._prefill_token_budget()
+        if budget <= 0:
+            return entries
+        queue = self.prefill_queue
+        if getattr(self.scheduler, "decode_priority_aware", False):
+            # Recompute-resumes have live consumers draining a buffer;
+            # they bypass fresh admissions (§4.2.3 latency-sensitive
+            # bypass).  Fresh requests keep FCFS order among themselves.
+            queue = sorted(
+                queue, key=lambda r: (r.generated == 0, r.arrival_time)
+            )
+        for request in queue:
+            if budget <= 0:
+                break
+            target = request.context_len
+            if request.prefill_progress == 0:
+                reserve = target + (1 if request.generated == 0 else 0)
+                try:
+                    self.kv.allocate_for_prefill(request.req_id, reserve)
+                except OutOfMemory:
+                    break
+            remaining = target - request.prefill_progress
+            if remaining <= 0:
+                continue
+            chunk = min(remaining, budget)
+            if self._chunked:
+                chunk = min(chunk, self.config.prefill_chunk_size)
+            entries.append((request, chunk))
+            budget -= chunk
+            if self._chunked:
+                break  # one chunk per iteration keeps decode interleaved
+        return entries
+
+    def _run_prefill(self, entries: list, overhead: float) -> None:
+        result = self.executor.plan_prefill(
+            [(request.req_id, chunk) for request, chunk in entries]
+        )
+        duration = result.duration + overhead
+        now = self.engine.now()
+        self.kv.drain_writes(now, now + duration, priority=self._write_priority)
+        if self.tracer is not None:
+            self.tracer.record(now, "executor", "prefill_start",
+                               tokens=result.tokens, batch=len(entries),
+                               duration=duration)
+        self._busy = True
+        self.engine.call_at(
+            now + duration,
+            lambda: self._complete_prefill(result, entries, duration),
+            label="prefill-done",
+        )
+
+    def _complete_prefill(self, result, entries: list, duration: float) -> None:
+        now = self.engine.now()
+        for request, chunk in entries:
+            if request.state is not RequestState.PREFILLING:
+                continue
+            request.prefill_progress += chunk
+            target = request.context_len
+            if request.prefill_progress >= target:
+                self.kv.on_prefill_complete(request.req_id, target)
+                self.prefill_queue.remove(request)
+                request.transition(RequestState.RUNNING)
+                self.running.append(request)
+                if request.generated == 0:
+                    # Prefill produces the first output token.
+                    self._emit_token(request, now)
+        if hasattr(self.scheduler, "observe_prefill"):
+            self.scheduler.observe_prefill(result.tokens, duration)
+        self.executor.commit(result)
+        self._sample_timeline()
+        self._busy = False
+        self._kick()
+
+    # --- decode path ----------------------------------------------------------------
+    def _plan_decode(self) -> list:
+        """Assemble the decode batch, resolving memory pressure first."""
+        if not self.running:
+            return []
+        if len(self.running) > self.config.max_batch and getattr(
+            self.scheduler, "decode_priority_aware", False
+        ):
+            # More residents than decode slots: serve the most starved.
+            now = self.engine.now()
+            ordered = sorted(
+                self.running,
+                key=lambda r: self.tracker.buffer_seconds(r.req_id, now),
+            )
+            batch = ordered[: self.config.max_batch]
+        else:
+            batch = list(self.running[: self.config.max_batch])
+        deficit = self._block_deficit(batch)
+        if deficit > 0:
+            victims = self.scheduler.select_oom_victims(self.view(), deficit)
+            for victim in victims:
+                if victim in self.running and victim.state is RequestState.RUNNING:
+                    self.offload.preempt(victim)
+            batch = [r for r in batch if r.state is RequestState.RUNNING]
+        # Greedily keep the prefix of the batch that fits.
+        fitted: list = []
+        free = self.kv.gpu_free_blocks()
+        for request in batch:
+            need = self._growth_blocks(request)
+            if need > free:
+                continue
+            free -= need
+            fitted.append(request)
+        return fitted
+
+    def _growth_blocks(self, request: Request) -> int:
+        record = self.kv.record(request.req_id)
+        held = self.kv.gpu_pool.used_by(request.req_id) - record.pending_free_blocks
+        return max(0, self.kv.blocks_for_tokens(record.gpu_tokens + 1) - max(0, held))
+
+    def _block_deficit(self, batch: list) -> int:
+        needed = sum(self._growth_blocks(request) for request in batch)
+        return max(0, needed - self.kv.gpu_free_blocks())
+
+    def _run_decode(self, batch: list, overhead: float) -> None:
+        result = self.executor.plan_decode(
+            [(request.req_id, request.context_len) for request in batch]
+        )
+        duration = result.duration + overhead
+        now = self.engine.now()
+        self.kv.drain_writes(now, now + duration, priority=self._write_priority)
+        if self.tracer is not None:
+            self.tracer.record(now, "executor", "decode_start",
+                               batch=len(batch), duration=duration)
+        self._busy = True
+        self.engine.call_at(
+            now + duration,
+            lambda: self._complete_decode(result, batch),
+            label="decode-done",
+        )
+
+    def _complete_decode(self, result, batch: list) -> None:
+        now = self.engine.now()
+        for request in batch:
+            if request.state is not RequestState.RUNNING:
+                continue
+            self.kv.on_decode_token(request.req_id)
+            self._emit_token(request, now)
+        self.executor.commit(result)
+        self._sample_timeline()
+        self._busy = False
+        self._kick()
+
+    # --- token delivery / completion ------------------------------------------------
+    def _emit_token(self, request: Request, now: float) -> None:
+        self.tracker.deliver_token(request.req_id, now)
+        self._last_token_time = max(self._last_token_time, now)
+        if request.generated >= request.output_len:
+            self._finish(request, now)
+
+    def _finish(self, request: Request, now: float) -> None:
+        if self.tracer is not None:
+            self.tracer.record(now, "request", "finish", req_id=request.req_id)
+        request.transition(RequestState.FINISHED)
+        if request in self.running:
+            self.running.remove(request)
+        self.kv.release(request.req_id)
+        self.tracker.mark_finished(request.req_id, now)
+        self.finished.append(request)
+        self._unfinished -= 1
+        if self.on_request_finished is not None:
+            self.on_request_finished(request)
+
+    # --- cancellation -------------------------------------------------------------------
+    def cancel(self, req_id: int) -> bool:
+        """Abort a live request (client disconnect).
+
+        Frees its GPU/CPU memory and removes it from whichever queue it
+        occupies.  Tokens already generated stay in the metrics (they
+        were streamed).  Returns False if the request is unknown or
+        already terminal — cancelling twice is harmless.
+        """
+        if req_id not in self.tracker:
+            return False
+        request = self.tracker.get(req_id).request
+        if request.state in (RequestState.FINISHED, RequestState.CANCELLED):
+            return False
+        for queue in (self.waiting, self.prefill_queue, self.running,
+                      self.preempted, self.loading):
+            if request in queue:
+                queue.remove(request)
+        if self.tracer is not None:
+            self.tracer.record(self.engine.now(), "request", "cancel",
+                               req_id=req_id)
+        request.transition(RequestState.CANCELLED)
+        self.kv.release(req_id)
+        self._unfinished -= 1
+        self._kick()
+        return True
+
+    def cancel_at(self, req_id: int, when: float) -> None:
+        """Schedule a cancellation at a future simulation time."""
+        self.engine.call_at(
+            when, lambda: self.cancel(req_id), label=f"cancel:{req_id}"
+        )
+
+    # --- glue -------------------------------------------------------------------------
+    def _write_priority(self, req_id: int) -> float:
+        """Chunked-write ordering: fatter buffers sync first (§5.2)."""
+        return self.tracker.buffer_seconds(req_id, self.engine.now())
+
+    def _observe_swap(self, tau_evict: float, tau_load: float) -> None:
+        if hasattr(self.scheduler, "observe_swap_latency"):
+            self.scheduler.observe_swap_latency(tau_evict, tau_load)
+
+    def _sample_timeline(self) -> None:
+        self.timeline.append(
+            (
+                self.engine.now(),
+                len(self.waiting) + len(self.prefill_queue),
+                len(self.running),
+            )
+        )
+
+    def view(self) -> SystemView:
+        """Snapshot for schedulers (lists are live; treat as read-only)."""
+        return SystemView(
+            now=self.engine.now(),
+            waiting=self.waiting,
+            prefill_queue=self.prefill_queue,
+            running=self.running,
+            preempted=self.preempted,
+            loading=self.loading,
+            tracker=self.tracker,
+            kv=self.kv,
+            executor=self.executor,
+            latency=self.latency,
+            max_batch=self.config.max_batch,
+        )
+
+    # --- run + report ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Drain the event loop; returns the final simulation time."""
+        return self.engine.run(until=until, max_events=max_events)
+
+    @property
+    def unfinished(self) -> int:
+        return self._unfinished
+
+    def makespan(self) -> float:
+        first = self.tracker.first_arrival()
+        if first is None:
+            return 0.0
+        return max(self._last_token_time - first, 1e-9)
+
+    def report(self) -> RunReport:
+        """Build the aggregate :class:`RunReport` for this run."""
+        scheduler_stats = {
+            "name": self.scheduler.name,
+            "scheduling_cost_s": self.scheduler.scheduling_cost_s(),
+        }
+        for attr in ("fallback_ticks", "scheduling_passes"):
+            if hasattr(self.scheduler, attr):
+                scheduler_stats[attr] = getattr(self.scheduler, attr)
+        scheduler_stats.update(self.offload.stats)
+        kv_stats = dict(self.kv.stats)
+        kv_stats["pcie_utilisation"] = self.kv.link.utilisation(
+            max(self.makespan(), 1e-9)
+        )
+        return build_report(
+            system=self.scheduler.name,
+            tracker=self.tracker,
+            makespan=self.makespan(),
+            qos_params=self.qos_params,
+            timeline=self.timeline,
+            executor_stats={
+                "prefill_iterations": self.executor.stats.prefill_iterations,
+                "decode_iterations": self.executor.stats.decode_iterations,
+                "prefill_tokens": self.executor.stats.prefill_tokens,
+                "decode_tokens": self.executor.stats.decode_tokens,
+                "busy_time": self.executor.stats.busy_time,
+            },
+            kv_stats=kv_stats,
+            scheduler_stats=scheduler_stats,
+        )

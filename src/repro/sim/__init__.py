@@ -1,0 +1,19 @@
+"""Discrete-event simulation kernel.
+
+This package provides the minimal machinery every other subsystem runs
+on: a simulation clock, a priority event queue, a deterministic engine,
+and seeded random-number streams.
+
+The engine is deliberately small: subsystems schedule callbacks at
+absolute or relative simulation times, and the engine executes them in
+timestamp order (FIFO among ties).  All nondeterminism is funnelled
+through :class:`repro.sim.rng.RngStreams` so a run is reproducible from
+a single root seed.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.events import Event, EventQueue
+from repro.sim.engine import SimEngine
+from repro.sim.rng import RngStreams
+
+__all__ = ["SimClock", "Event", "EventQueue", "SimEngine", "RngStreams"]

@@ -1,0 +1,46 @@
+"""Simulation clock.
+
+The clock is owned by the engine; components read it but only the
+engine advances it.  Time is a float in seconds of simulated time.
+"""
+
+from __future__ import annotations
+
+
+class ClockError(RuntimeError):
+    """Raised when a component tries to move the clock backwards."""
+
+
+class SimClock:
+    """Monotonic simulation clock.
+
+    The clock starts at ``0.0`` (or an explicit epoch) and can only
+    move forward.  Components hold a reference to the clock and call
+    :meth:`now` whenever they need a timestamp, which keeps every
+    subsystem on a single consistent timeline.
+    """
+
+    def __init__(self, epoch: float = 0.0) -> None:
+        if epoch < 0.0:
+            raise ValueError(f"epoch must be non-negative, got {epoch}")
+        self._now = float(epoch)
+
+    def now(self) -> float:
+        """Return the current simulation time in seconds."""
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move the clock to ``timestamp``.
+
+        Raises :class:`ClockError` if the timestamp is in the past;
+        advancing to the current time is a no-op and is allowed, since
+        several events may share one timestamp.
+        """
+        if timestamp < self._now:
+            raise ClockError(
+                f"cannot move clock backwards: now={self._now}, target={timestamp}"
+            )
+        self._now = float(timestamp)
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.6f})"

@@ -1,0 +1,81 @@
+"""Event types and the timestamp-ordered event queue.
+
+Events are opaque callbacks tagged with a timestamp and an insertion
+sequence number.  Ordering is (timestamp, sequence), so events that
+share a timestamp run in the order they were scheduled — this keeps
+runs deterministic without relying on heap tie-breaking accidents.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: absolute simulation time at which the event fires.
+        seq: insertion order, used to break timestamp ties.
+        action: zero-argument callable executed when the event fires.
+        label: human-readable tag for debugging and tracing.
+        cancelled: set via :meth:`cancel`; cancelled events are skipped.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Min-heap of events ordered by (time, insertion sequence)."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def push(self, time: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` at absolute ``time`` and return the event."""
+        event = Event(time=time, seq=next(self._counter), action=action, label=label)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Pop the earliest live event, or ``None`` if the queue is empty.
+
+        Cancelled events are discarded transparently.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            self._live -= 1
+            if event.cancelled:
+                continue
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the timestamp of the earliest live event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+            self._live -= 1
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0

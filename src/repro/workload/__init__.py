@@ -1,0 +1,36 @@
+"""Request model and workload generation.
+
+Provides the :class:`~repro.workload.request.Request` lifecycle object
+plus generators for every arrival pattern used in the paper's
+evaluation: bursty flash crowds, Poisson traffic, BurstGPT-like traces
+with burst episodes, and a production-trace synthesizer matching the
+shape of the paper's Figure 11.
+"""
+
+from repro.workload.request import Request, RequestState
+from repro.workload.lengths import LengthSampler, NormalLengthSampler, LogNormalLengthSampler
+from repro.workload.arrivals import (
+    burst_arrivals,
+    poisson_arrivals,
+    gamma_arrivals,
+    staggered_burst_arrivals,
+)
+from repro.workload.burstgpt import BurstGPTTraceGenerator
+from repro.workload.production import ProductionTraceGenerator
+from repro.workload.builder import WorkloadBuilder, WorkloadSpec
+
+__all__ = [
+    "Request",
+    "RequestState",
+    "LengthSampler",
+    "NormalLengthSampler",
+    "LogNormalLengthSampler",
+    "burst_arrivals",
+    "poisson_arrivals",
+    "gamma_arrivals",
+    "staggered_burst_arrivals",
+    "BurstGPTTraceGenerator",
+    "ProductionTraceGenerator",
+    "WorkloadBuilder",
+    "WorkloadSpec",
+]

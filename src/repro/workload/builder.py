@@ -1,0 +1,163 @@
+"""Workload assembly: arrivals + lengths + rates -> Request list.
+
+A :class:`WorkloadSpec` pins down everything random about a workload;
+:class:`WorkloadBuilder` turns it into concrete ``Request`` objects
+using named RNG streams, so the same spec + seed always yields the
+same workload regardless of which experiment consumes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.sim.rng import RngStreams
+from repro.workload.arrivals import burst_arrivals, poisson_arrivals
+from repro.workload.burstgpt import BurstGPTTraceGenerator
+from repro.workload.lengths import LengthSampler, NormalLengthSampler
+from repro.workload.production import ProductionTraceGenerator
+from repro.workload.request import Request
+
+
+@dataclass(frozen=True)
+class RateMixture:
+    """A categorical mixture of consumption rates.
+
+    ``rates`` and ``weights`` must have equal length; weights are
+    normalised.  A single-entry mixture is a fixed rate.
+    """
+
+    rates: Sequence[float]
+    weights: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.rates) != len(self.weights):
+            raise ValueError("rates and weights must have equal length")
+        if not self.rates:
+            raise ValueError("mixture must have at least one component")
+        if any(r <= 0 for r in self.rates):
+            raise ValueError("all rates must be positive")
+        if any(w < 0 for w in self.weights) or sum(self.weights) <= 0:
+            raise ValueError("weights must be non-negative and sum > 0")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        weights = np.asarray(self.weights, dtype=float)
+        weights = weights / weights.sum()
+        idx = rng.choice(len(self.rates), p=weights)
+        return float(self.rates[idx])
+
+    @classmethod
+    def fixed(cls, rate: float) -> "RateMixture":
+        return cls(rates=(rate,), weights=(1.0,))
+
+    @classmethod
+    def from_population(
+        cls,
+        mode: str = "reading",
+        languages: Optional[Sequence] = None,
+        speed_multiplier: float = 1.0,
+    ) -> "RateMixture":
+        """Uniform mixture over the paper's Fig. 1 consumption rates.
+
+        Builds a rate mixture from the reading/listening speed tables
+        (age groups x languages), optionally restricted to some
+        languages.  ``speed_multiplier`` scales every rate — the paper
+        serves at ~2x reading speed as a responsiveness margin.
+        """
+        from repro.client.rates import rate_table_rows
+
+        if speed_multiplier <= 0:
+            raise ValueError("speed_multiplier must be positive")
+        wanted = None if languages is None else {l.lower() for l in languages}
+        rows = [
+            (language, rate)
+            for language, _age, rate in rate_table_rows(mode)
+            if wanted is None or language in wanted
+        ]
+        if not rows:
+            raise ValueError("no population cells match the given languages")
+        rates = tuple(rate * speed_multiplier for _, rate in rows)
+        weights = tuple(1.0 for _ in rows)
+        return cls(rates=rates, weights=weights)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative description of a workload.
+
+    Attributes:
+        arrival: one of "burst", "poisson", "burstgpt", "production".
+        n_requests: request count for "burst"; for rate-driven
+            processes it caps the generated count (None = no cap).
+        duration: horizon for rate-driven arrival processes.
+        poisson_rate: λ for "poisson".
+        burst_spread: jitter window for "burst".
+        lengths: length sampler.
+        rates: consumption-rate mixture.
+        burstgpt: generator parameters for "burstgpt".
+        production: generator parameters for "production".
+    """
+
+    arrival: str = "burst"
+    n_requests: Optional[int] = 64
+    duration: float = 60.0
+    poisson_rate: float = 2.0
+    burst_spread: float = 0.25
+    lengths: LengthSampler = field(default_factory=NormalLengthSampler)
+    rates: RateMixture = field(default_factory=lambda: RateMixture.fixed(10.0))
+    burstgpt: BurstGPTTraceGenerator = field(default_factory=BurstGPTTraceGenerator)
+    production: ProductionTraceGenerator = field(default_factory=ProductionTraceGenerator)
+
+    def __post_init__(self) -> None:
+        if self.arrival not in ("burst", "poisson", "burstgpt", "production"):
+            raise ValueError(f"unknown arrival kind {self.arrival!r}")
+        if self.arrival == "burst" and (self.n_requests is None or self.n_requests <= 0):
+            raise ValueError("burst workloads need a positive n_requests")
+
+
+class WorkloadBuilder:
+    """Materialises a :class:`WorkloadSpec` into ``Request`` objects."""
+
+    def __init__(self, spec: WorkloadSpec, rng_streams: RngStreams) -> None:
+        self.spec = spec
+        self._rng = rng_streams
+
+    def _arrival_times(self) -> np.ndarray:
+        spec = self.spec
+        rng = self._rng.stream("arrivals")
+        if spec.arrival == "burst":
+            assert spec.n_requests is not None
+            return burst_arrivals(
+                spec.n_requests, spread=spec.burst_spread,
+                rng=rng if spec.burst_spread > 0 else None,
+            )
+        if spec.arrival == "poisson":
+            times = poisson_arrivals(spec.poisson_rate, spec.duration, rng)
+        elif spec.arrival == "burstgpt":
+            times = spec.burstgpt.generate(spec.duration, rng)
+        else:  # production
+            times = spec.production.generate(spec.duration, rng)
+        if spec.n_requests is not None:
+            times = times[: spec.n_requests]
+        return times
+
+    def build(self) -> list:
+        """Return the request list, sorted by arrival time."""
+        length_rng = self._rng.stream("lengths")
+        rate_rng = self._rng.stream("rates")
+        requests = []
+        for req_id, arrival in enumerate(self._arrival_times()):
+            prompt_len, output_len = self.spec.lengths.sample(length_rng)
+            rate = self.spec.rates.sample(rate_rng)
+            requests.append(
+                Request(
+                    req_id=req_id,
+                    arrival_time=float(arrival),
+                    prompt_len=prompt_len,
+                    output_len=output_len,
+                    rate=rate,
+                )
+            )
+        return requests

@@ -1,0 +1,158 @@
+"""Request object and lifecycle state machine.
+
+A request carries its workload parameters (prompt length, output
+length, required consumption rate) plus the runtime state the serving
+system mutates as the request moves through
+
+    QUEUED -> PREFILLING -> RUNNING -> FINISHED
+                 ^              |
+                 |              v
+              (recompute)   PREEMPTED -> LOADING -> RUNNING
+
+Transitions are validated so scheduler bugs surface as exceptions
+instead of silent metric corruption.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class RequestState(enum.Enum):
+    """Lifecycle states of a request inside the serving system."""
+
+    QUEUED = "queued"          # arrived, waiting for admission
+    PREFILLING = "prefilling"  # admitted, waiting for / running prefill
+    RUNNING = "running"        # in the decode batch
+    PREEMPTED = "preempted"    # KV offloaded (or dropped), not decoding
+    LOADING = "loading"        # KV transfer from CPU in flight
+    FINISHED = "finished"      # all output tokens generated
+    CANCELLED = "cancelled"    # client disconnected / aborted
+
+
+# Legal state transitions; see the module docstring diagram.  A live
+# request can be cancelled from any non-terminal state (client
+# disconnects happen whenever).
+_ALLOWED_TRANSITIONS: dict[RequestState, frozenset[RequestState]] = {
+    RequestState.QUEUED: frozenset({RequestState.PREFILLING, RequestState.CANCELLED}),
+    RequestState.PREFILLING: frozenset(
+        {RequestState.RUNNING, RequestState.QUEUED, RequestState.CANCELLED}
+    ),
+    RequestState.RUNNING: frozenset(
+        {RequestState.PREEMPTED, RequestState.FINISHED, RequestState.CANCELLED}
+    ),
+    RequestState.PREEMPTED: frozenset(
+        {RequestState.LOADING, RequestState.PREFILLING, RequestState.CANCELLED}
+    ),
+    RequestState.LOADING: frozenset(
+        {RequestState.RUNNING, RequestState.PREEMPTED, RequestState.CANCELLED}
+    ),
+    RequestState.FINISHED: frozenset(),
+    RequestState.CANCELLED: frozenset(),
+}
+
+
+class InvalidTransition(RuntimeError):
+    """Raised on a request state transition the lifecycle forbids."""
+
+
+@dataclass
+class Request:
+    """One streaming request.
+
+    Workload attributes are immutable after construction; runtime
+    attributes are mutated by the serving system.
+
+    Attributes:
+        req_id: unique id within a run.
+        arrival_time: simulation time of arrival (seconds).
+        prompt_len: prompt tokens to prefill.
+        output_len: output tokens to generate.
+        rate: required consumption rate, tokens/second.  For non-user
+            consumers this is a *reference rate* used purely as a
+            scheduling priority signal (paper §8).
+        is_agent: True for non-user consumers (reference-rate clients).
+    """
+
+    req_id: int
+    arrival_time: float
+    prompt_len: int
+    output_len: int
+    rate: float
+    is_agent: bool = False
+
+    # --- runtime state -------------------------------------------------
+    state: RequestState = field(default=RequestState.QUEUED)
+    generated: int = 0                      # output tokens produced so far
+    ttft: Optional[float] = None            # first-token latency (seconds)
+    first_token_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    token_times: list = field(default_factory=list)  # per-token gen timestamps
+    preemption_count: int = 0
+    admitted_time: Optional[float] = None
+    prefill_progress: int = 0               # tokens prefilled this pass
+
+    def __post_init__(self) -> None:
+        if self.prompt_len <= 0:
+            raise ValueError(f"prompt_len must be positive, got {self.prompt_len}")
+        if self.output_len <= 0:
+            raise ValueError(f"output_len must be positive, got {self.output_len}")
+        if self.rate <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate}")
+        if self.arrival_time < 0:
+            raise ValueError(f"arrival_time must be non-negative, got {self.arrival_time}")
+
+    # --- derived quantities --------------------------------------------
+    @property
+    def context_len(self) -> int:
+        """Prompt plus generated tokens — the KV-cache footprint."""
+        return self.prompt_len + self.generated
+
+    @property
+    def remaining_output(self) -> int:
+        """Output tokens still to generate."""
+        return self.output_len - self.generated
+
+    @property
+    def is_finished(self) -> bool:
+        return self.state is RequestState.FINISHED
+
+    # --- lifecycle ------------------------------------------------------
+    def transition(self, new_state: RequestState) -> None:
+        """Move to ``new_state``, validating against the lifecycle."""
+        if new_state not in _ALLOWED_TRANSITIONS[self.state]:
+            raise InvalidTransition(
+                f"request {self.req_id}: illegal transition "
+                f"{self.state.value} -> {new_state.value}"
+            )
+        self.state = new_state
+
+    def record_token(self, timestamp: float) -> None:
+        """Record generation of one output token at ``timestamp``."""
+        if self.generated >= self.output_len:
+            raise RuntimeError(
+                f"request {self.req_id} already generated all {self.output_len} tokens"
+            )
+        if self.token_times and timestamp < self.token_times[-1]:
+            raise ValueError("token timestamps must be non-decreasing")
+        if self.ttft is None:
+            self.ttft = timestamp - self.arrival_time
+            self.first_token_time = timestamp
+        self.generated += 1
+        self.token_times.append(timestamp)
+
+    def inter_token_latencies(self) -> list:
+        """The δ_{i,1..L-1} sequence from the paper's QoS definition."""
+        return [
+            self.token_times[j + 1] - self.token_times[j]
+            for j in range(len(self.token_times) - 1)
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"Request(id={self.req_id}, state={self.state.value}, "
+            f"prompt={self.prompt_len}, out={self.generated}/{self.output_len}, "
+            f"rate={self.rate})"
+        )

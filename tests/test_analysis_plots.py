@@ -1,0 +1,52 @@
+"""Unit tests for ASCII charting."""
+
+import pytest
+
+from repro.analysis.plots import ascii_chart, ascii_sparkline
+
+
+class TestSparkline:
+    def test_empty_series(self):
+        assert ascii_sparkline([]) == ""
+
+    def test_flat_series_lowest_tick(self):
+        line = ascii_sparkline([5, 5, 5])
+        assert line == "▁▁▁"
+
+    def test_ramp_uses_range(self):
+        line = ascii_sparkline(list(range(8)))
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_long_series_resampled(self):
+        line = ascii_sparkline(list(range(1000)), width=40)
+        assert len(line) == 40
+
+
+class TestChart:
+    def test_single_series(self):
+        chart = ascii_chart({"a": [0, 1, 2, 3]}, height=5, width=16, title="T")
+        assert chart.startswith("T")
+        assert "*=a" in chart
+        assert len(chart.split("\n")) == 5 + 2  # rows + title + legend
+
+    def test_multiple_series_distinct_markers(self):
+        chart = ascii_chart({"x": [0, 1], "y": [1, 0]}, height=4, width=12)
+        assert "*=x" in chart and "o=y" in chart
+
+    def test_axis_labels_contain_range(self):
+        chart = ascii_chart({"a": [2.0, 10.0]}, height=4, width=12)
+        assert "10.0" in chart and "2.0" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"a": []})
+        with pytest.raises(ValueError):
+            ascii_chart({"a": [1]}, height=1)
+
+    def test_long_series_resampled_to_width(self):
+        chart = ascii_chart({"a": list(range(500))}, height=4, width=20)
+        body_rows = chart.split("\n")[:-1]
+        assert all(len(row) <= 12 + 20 for row in body_rows)

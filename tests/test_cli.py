@@ -1,0 +1,60 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig16" in out and "tab02" in out
+
+    def test_experiment_requires_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment"])
+
+    def test_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestExperimentCommand:
+    def test_fig01_renders(self, capsys):
+        assert main(["experiment", "fig01"]) == 0
+        out = capsys.readouterr().out
+        assert "english" in out
+
+    def test_fig06_renders(self, capsys):
+        assert main(["experiment", "fig06"]) == 0
+        out = capsys.readouterr().out
+        assert "R3_buffer" in out
+
+    def test_all_ids_have_descriptions(self):
+        for name, (description, _) in EXPERIMENTS.items():
+            assert description
+
+
+class TestCompareCommand:
+    def test_small_burst_comparison(self, capsys):
+        code = main([
+            "compare", "--systems", "sglang", "tokenflow",
+            "--n-requests", "8", "--mem-frac", "0.01", "--max-batch", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sglang" in out and "tokenflow" in out
+
+    def test_poisson_comparison(self, capsys):
+        code = main([
+            "compare", "--systems", "sglang", "--arrival", "poisson",
+            "--poisson-rate", "0.5", "--duration", "10",
+            "--mem-frac", "0.05", "--max-batch", "8",
+        ])
+        assert code == 0
+        assert "poisson" in capsys.readouterr().out

@@ -1,0 +1,111 @@
+"""Unit tests for the client token buffer."""
+
+import pytest
+
+from repro.client.buffer import ClientBuffer
+
+
+class TestDelivery:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            ClientBuffer(rate=0.0)
+
+    def test_out_of_order_delivery_rejected(self):
+        buffer = ClientBuffer(rate=10.0)
+        buffer.deliver(1.0)
+        with pytest.raises(ValueError):
+            buffer.deliver(0.5)
+
+    def test_delivered_counter(self):
+        buffer = ClientBuffer(rate=10.0)
+        for t in (0.0, 0.1, 0.2):
+            buffer.deliver(t)
+        assert buffer.delivered == 3
+
+
+class TestConsumption:
+    def test_first_token_consumed_at_delivery(self):
+        buffer = ClientBuffer(rate=10.0)
+        buffer.deliver(2.0)
+        assert buffer.consumption_times == [2.0]
+
+    def test_steady_consumption_when_tokens_ready(self):
+        buffer = ClientBuffer(rate=10.0)  # one token per 0.1 s
+        for idx in range(4):
+            buffer.deliver(0.01 * idx)   # generation outpaces reading
+        expected = [0.0, 0.1, 0.2, 0.3]
+        assert buffer.consumption_times == pytest.approx(expected)
+
+    def test_consumed_count_monotone_queries(self):
+        buffer = ClientBuffer(rate=10.0)
+        for idx in range(5):
+            buffer.deliver(0.01 * idx)
+        assert buffer.consumed_count(0.05) == 1
+        assert buffer.consumed_count(0.25) == 3
+        assert buffer.consumed_count(10.0) == 5
+
+
+class TestOccupancy:
+    def test_occupancy_grows_with_fast_generation(self):
+        buffer = ClientBuffer(rate=1.0)  # slow reader
+        for idx in range(10):
+            buffer.deliver(0.1 * idx)
+        assert buffer.occupancy(1.0) == 8  # 10 delivered, 2 consumed (t=0, t=1)
+
+    def test_occupancy_at_generation_recorded(self):
+        buffer = ClientBuffer(rate=1.0)
+        for idx in range(5):
+            buffer.deliver(0.1 * idx)
+        # Token j's occupancy counts itself minus what's been consumed:
+        # the first token is consumed the instant it arrives.
+        assert buffer.occupancy_at_generation == [0, 1, 2, 3, 4]
+
+    def test_drain_deadline(self):
+        buffer = ClientBuffer(rate=2.0)
+        for idx in range(5):
+            buffer.deliver(0.01 * idx)
+        # 4 unread tokens at 2 tok/s = 2 s of slack (1 consumed at start).
+        assert buffer.drain_deadline(0.1) == pytest.approx(4 * 0.5)
+
+
+class TestStalls:
+    def test_no_stall_when_generation_keeps_up(self):
+        buffer = ClientBuffer(rate=10.0)
+        for idx in range(20):
+            buffer.deliver(0.05 * idx)  # 20 tok/s > 10 tok/s
+        assert buffer.stall_time == 0.0
+
+    def test_stall_accrues_on_late_token(self):
+        buffer = ClientBuffer(rate=10.0)
+        buffer.deliver(0.0)    # consumed at 0.0; next wanted at 0.1
+        buffer.deliver(0.5)    # 0.4 s late
+        assert buffer.stall_time == pytest.approx(0.4)
+
+    def test_startup_delay_not_a_stall(self):
+        buffer = ClientBuffer(rate=10.0)
+        buffer.deliver(5.0)    # huge TTFT, but not a rebuffer event
+        assert buffer.stall_time == 0.0
+
+    def test_consumption_shifts_after_stall(self):
+        buffer = ClientBuffer(rate=10.0)
+        buffer.deliver(0.0)
+        buffer.deliver(0.5)    # stall; consumed at 0.5
+        buffer.deliver(0.52)   # buffered; consumed at 0.6
+        assert buffer.consumption_times == pytest.approx([0.0, 0.5, 0.6])
+        assert buffer.stall_time == pytest.approx(0.4)
+
+    def test_multiple_stalls_accumulate(self):
+        buffer = ClientBuffer(rate=10.0)
+        buffer.deliver(0.0)
+        buffer.deliver(0.3)    # +0.2
+        buffer.deliver(0.8)    # +0.4
+        assert buffer.stall_time == pytest.approx(0.6)
+
+
+class TestFinal:
+    def test_final_consumption_time(self):
+        buffer = ClientBuffer(rate=10.0)
+        assert buffer.final_consumption_time() is None
+        buffer.deliver(0.0)
+        buffer.deliver(0.01)
+        assert buffer.final_consumption_time() == pytest.approx(0.1)

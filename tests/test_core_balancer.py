@@ -1,0 +1,152 @@
+"""Unit tests for buffer balancing (greedy + local search)."""
+
+import pytest
+
+from repro.core.balancer import BalanceResult, BufferBalancer, Candidate
+
+
+def cand(req_id, priority, blocks=10, resident=False, pinned=False) -> Candidate:
+    return Candidate(
+        req_id=req_id, priority=priority, blocks=blocks,
+        resident=resident, pinned=pinned,
+    )
+
+
+@pytest.fixture
+def balancer() -> BufferBalancer:
+    return BufferBalancer()
+
+
+class TestGreedy:
+    def test_selects_highest_priority(self, balancer):
+        result = balancer.balance(
+            [cand(1, 1.0), cand(2, 3.0), cand(3, 2.0)],
+            block_budget=20, max_batch=2,
+        )
+        assert set(result.selected) == {2, 3}
+
+    def test_respects_block_budget(self, balancer):
+        result = balancer.balance(
+            [cand(1, 3.0, blocks=15), cand(2, 2.0, blocks=10), cand(3, 1.0, blocks=5)],
+            block_budget=20, max_batch=3,
+        )
+        assert 1 in result.selected
+        assert result.blocks_used <= 20
+
+    def test_respects_max_batch(self, balancer):
+        result = balancer.balance(
+            [cand(i, float(i)) for i in range(10)],
+            block_budget=1000, max_batch=3,
+        )
+        assert len(result.selected) == 3
+
+    def test_diff_outputs(self, balancer):
+        result = balancer.balance(
+            [
+                cand(1, 0.1, resident=True),   # fat buffer, low priority
+                cand(2, 5.0, resident=False),  # starved, offloaded
+            ],
+            block_budget=10, max_batch=1,
+        )
+        assert result.to_preempt == [1]
+        assert result.to_resume == [2]
+
+    def test_empty_candidates(self, balancer):
+        result = balancer.balance([], block_budget=10, max_batch=4)
+        assert result.selected == []
+
+    def test_duplicate_ids_rejected(self, balancer):
+        with pytest.raises(ValueError):
+            balancer.balance([cand(1, 1.0), cand(1, 2.0)], 10, 2)
+
+    def test_invalid_budgets(self, balancer):
+        with pytest.raises(ValueError):
+            balancer.balance([cand(1, 1.0)], block_budget=-1, max_batch=1)
+        with pytest.raises(ValueError):
+            balancer.balance([cand(1, 1.0)], block_budget=10, max_batch=0)
+
+
+class TestPinning:
+    def test_pinned_residents_always_selected(self, balancer):
+        result = balancer.balance(
+            [
+                cand(1, 0.0, resident=True, pinned=True),
+                cand(2, 9.0, resident=False),
+            ],
+            block_budget=10, max_batch=1,
+        )
+        assert result.selected == [1]
+        assert result.to_preempt == []
+
+    def test_pinned_never_preempted_even_outside_selection(self, balancer):
+        # Three pinned residents, one slot: the overflow stays resident.
+        result = balancer.balance(
+            [
+                cand(1, 0.1, resident=True, pinned=True),
+                cand(2, 0.2, resident=True, pinned=True),
+                cand(3, 0.3, resident=True, pinned=True),
+            ],
+            block_budget=100, max_batch=1,
+        )
+        assert result.to_preempt == []
+
+    def test_pinned_requires_resident(self):
+        with pytest.raises(ValueError):
+            cand(1, 1.0, resident=False, pinned=True)
+
+
+class TestLocalSearch:
+    def test_stable_when_no_improving_swap(self):
+        """Greedy's budget-feasible pick is locally optimal here: a
+        swap toward either skipped item would lower total utility."""
+        balancer = BufferBalancer(local_search_passes=3)
+        result = balancer.balance(
+            [cand(1, 5.0, blocks=20), cand(2, 4.9, blocks=10), cand(3, 4.8, blocks=10)],
+            block_budget=20, max_batch=3,
+        )
+        assert set(result.selected) == {1}
+
+    def test_improving_swap_applied_under_batch_cap(self):
+        """With the batch cap (not the budget) binding, greedy capped at
+        two picks can strand a higher-priority candidate behind a
+        pinned one; the adjacent swap promotes it."""
+        balancer = BufferBalancer(local_search_passes=2)
+        # Pinned item sorts first regardless of priority; greedy then
+        # takes candidate 2 (4.0) and hits max_batch before 3 (4.5 is
+        # adjacent to 2 after sorting: order = pinned, 3, 2).
+        result = balancer.balance(
+            [
+                cand(1, 0.5, blocks=5, resident=True, pinned=True),
+                cand(2, 4.0, blocks=5),
+                cand(3, 4.5, blocks=5),
+            ],
+            block_budget=100, max_batch=2,
+        )
+        # Sorting puts 3 before 2, so greedy already prefers 3; either
+        # way the final selection must contain the higher-priority 3.
+        assert 3 in result.selected
+        assert len(result.selected) == 2
+
+    def test_zero_passes_disables_search(self):
+        balancer = BufferBalancer(local_search_passes=0)
+        result = balancer.balance(
+            [cand(1, 5.0, blocks=20), cand(2, 4.9, blocks=10), cand(3, 4.8, blocks=10)],
+            block_budget=20, max_batch=3,
+        )
+        assert 1 in result.selected  # greedy keeps the big item
+
+    def test_negative_passes_rejected(self):
+        with pytest.raises(ValueError):
+            BufferBalancer(local_search_passes=-1)
+
+
+class TestResult:
+    def test_total_priority_sums_selected(self, balancer):
+        result = balancer.balance(
+            [cand(1, 2.0), cand(2, 3.0)], block_budget=100, max_batch=2
+        )
+        assert result.total_priority == pytest.approx(5.0)
+
+    def test_result_is_dataclass(self):
+        result = BalanceResult()
+        assert result.selected == [] and result.to_preempt == []

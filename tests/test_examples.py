@@ -1,0 +1,25 @@
+"""Smoke tests: every example script runs end to end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, monkeypatch, capsys):
+    # Shrink the CLI-style arg so the heavier examples stay quick.
+    monkeypatch.setattr(sys, "argv", [str(script), "40"])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip()  # every example prints its results
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "burst_comparison", "multirate_streaming",
+            "trace_replay", "agent_clients", "chat_sessions"} <= names

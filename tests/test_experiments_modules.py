@@ -1,0 +1,220 @@
+"""Smoke + shape tests for the per-figure experiment modules.
+
+These run each experiment at a very small scale and assert the
+*structural* properties the paper's figures rely on (who wins, which
+direction a knob pushes), not absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ablation, controlled, endtoend, micro, multirate
+from repro.experiments import overhead as overhead_mod
+from repro.experiments import ratesweep, sensitivity, temporal, timeline, toy
+
+
+class TestControlled:
+    def test_table1_complete(self):
+        assert len(controlled.TABLE1) == 8
+        for gpu in ("rtx4090", "h200"):
+            for key in "abcd":
+                assert (gpu, key) in controlled.TABLE1
+
+    def test_length_regimes(self):
+        short = controlled.length_sampler(controlled.TABLE1[("rtx4090", "a")])
+        long_ = controlled.length_sampler(controlled.TABLE1[("rtx4090", "b")])
+        assert long_.prompt_mean == 2 * short.prompt_mean
+
+    def test_h200_output_scaled(self):
+        rtx = controlled.length_sampler(controlled.TABLE1[("rtx4090", "a")])
+        h200 = controlled.length_sampler(controlled.TABLE1[("h200", "a")])
+        assert h200.output_mean == 2 * rtx.output_mean
+
+    def test_build_workload_scales(self):
+        setup = controlled.TABLE1[("h200", "a")]
+        full = controlled.build_workload(setup, scale=0.1, seed=0)
+        assert len(full) == 40
+
+    def test_run_small_cell(self):
+        reports = controlled.run_controlled(
+            "rtx4090", "a", systems=("sglang", "tokenflow"), scale=0.1
+        )
+        assert reports["tokenflow"].n_finished == reports["sglang"].n_finished
+        text = controlled.render_controlled("rtx4090", "a", reports)
+        assert "sglang" in text and "tokenflow" in text
+
+
+class TestMicro:
+    def test_burst_sweep_shape(self):
+        points = micro.run_burst_sweep(loads=(0.25, 1.0), full_burst=40)
+        assert len(points) == 2
+        # TTFT worsens as burst load rises (Fig. 2 left).
+        assert points[1].ttft_p99 > points[0].ttft_p99
+        assert "Fig. 2" in micro.render_burst_sweep(points)
+
+    def test_generation_speed_exceeds_reading(self):
+        points = micro.run_burst_sweep(loads=(0.5,), full_burst=40)
+        # Fig. 2 right: SGLang generates much faster than users read.
+        assert points[0].gen_speed_mean > micro.READING_SPEED_2X
+
+
+class TestToy:
+    def test_rotation_without_stalls(self):
+        result = toy.run_toy_example()
+        assert result.preemptions > 0
+        assert result.stall_total < 0.5
+        assert all(v is not None for v in result.ttfts.values())
+
+    def test_third_request_served_promptly(self):
+        result = toy.run_toy_example(third_arrival=2.0)
+        assert result.ttfts[2] < 1.5  # admitted via preemption, not queued
+
+    def test_buffers_stay_bounded(self):
+        result = toy.run_toy_example()
+        for series in result.occupancy.values():
+            assert series.max() < 120  # never the whole output buffered
+
+    def test_render(self):
+        result = toy.run_toy_example()
+        assert "buffer" in toy.render_toy(result).lower()
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            toy.run_toy_example(rates=(1.0, 2.0))
+
+
+class TestTimeline:
+    def test_tokenflow_beats_sglang_ttft(self):
+        results = timeline.run_timelines(n_requests=8, max_batch=2)
+        sglang_ttft = np.mean([v for v in results["sglang"].ttfts.values()])
+        tf_ttft = np.mean([v for v in results["tokenflow"].ttfts.values()])
+        assert tf_ttft < sglang_ttft
+
+    def test_render(self):
+        results = timeline.run_timelines(n_requests=6, max_batch=2)
+        assert "Fig. 18" in timeline.render_timelines(results)
+
+    def test_tokens_at_monotone(self):
+        times = np.asarray([0.0, 1.0, 2.0])
+        counts = timeline.tokens_at(times, [0.5, 1.5, 2.5])
+        assert list(counts) == [1, 2, 3]
+
+
+class TestMultirate:
+    def test_classes_hold_their_rates(self):
+        stats = multirate.run_multirate(n_requests=30)
+        for rate, cls in stats.items():
+            assert cls.n_requests > 0
+            # Achieved delivery within 20% of the target rate.
+            assert abs(cls.delivery_rate_mean - rate) / rate < 0.2
+
+    def test_render(self):
+        stats = multirate.run_multirate(n_requests=20)
+        assert "Fig. 19" in multirate.render_multirate(stats)
+
+
+class TestRateSweep:
+    def test_tokenflow_gains_at_all_rates(self):
+        points = ratesweep.run_rate_sweep(rates=(20.0, 30.0), n_requests=60)
+        for point in points:
+            assert point.gain > 0.1  # TokenFlow wins clearly (paper: ~+50%)
+        assert "Fig. 20" in ratesweep.render_rate_sweep(points)
+
+
+class TestSensitivity:
+    def test_interval_sweep_returns_points(self):
+        points = sensitivity.run_interval_sweep(
+            intervals=(0.5, 1.5), n_requests=40
+        )
+        assert [p.setting for p in points] == [0.5, 1.5]
+        assert all(p.effective_throughput > 0 for p in points)
+
+    def test_conservativeness_affects_preemption(self):
+        points = sensitivity.run_conservativeness_sweep(
+            mus=(1.0, 20.0), n_requests=40
+        )
+        aggressive, cautious = points
+        # Fig. 23: high mu behaves cautiously -> fewer preemptions.
+        assert cautious.preemptions <= aggressive.preemptions
+
+    def test_render(self):
+        points = sensitivity.run_interval_sweep(intervals=(0.5,), n_requests=20)
+        assert "Sensitivity" in sensitivity.render_sensitivity(points, "dt")
+
+
+class TestAblation:
+    def test_full_tokenflow_fastest(self):
+        reports = ablation.run_ablation(scale=0.3)
+        times = ablation.completion_times(reports)
+        # Table 2 ordering: the full system completes fastest; dropping
+        # offload entirely is the most expensive.
+        assert times["tokenflow"] <= min(times.values()) * 1.05
+        assert times["tokenflow-no-offload"] >= times["tokenflow"]
+
+    def test_constrained_link_exposes_overlap(self):
+        reports = ablation.run_ablation(
+            variants=("tokenflow", "tokenflow-no-overlap"),
+            scale=0.5, pcie_gbps=2.0,
+        )
+        times = ablation.completion_times(reports)
+        assert times["tokenflow-no-overlap"] > times["tokenflow"]
+
+    def test_render(self):
+        reports = ablation.run_ablation(scale=0.2)
+        assert "Table 2" in ablation.render_ablation(reports)
+
+
+class TestTemporal:
+    def test_series_shapes(self):
+        results = temporal.run_temporal(
+            systems=("sglang", "tokenflow"), duration=60.0,
+            base_rate=0.3, bin_s=10.0,
+        )
+        for series in results.values():
+            assert len(series["t"]) == len(series["queued"]) == len(series["running"])
+        assert "Fig. 14" in temporal.render_temporal(results, "queued")
+
+    def test_tokenflow_fewer_queued_at_peak(self):
+        # Heavy enough that real queues form (32B on H200 saturates).
+        results = temporal.run_temporal(
+            systems=("sglang", "tokenflow"), duration=80.0,
+            base_rate=2.0, bin_s=10.0, max_batch=32,
+        )
+        assert results["sglang"]["peak_queued"] > 1.0  # pressure existed
+        assert (
+            results["tokenflow"]["peak_queued"] < results["sglang"]["peak_queued"]
+        )
+
+
+class TestEndToEnd:
+    def test_burstgpt_comparison(self):
+        reports = endtoend.run_endtoend(
+            "h200-llama3-8b", trace="burstgpt",
+            systems=("sglang", "tokenflow"), duration=40.0, scale=1.0,
+        )
+        summary = endtoend.improvement_summary(reports)
+        assert summary["ttft_p99_reduction"] > -0.5  # sane range
+        assert "h200" in endtoend.render_endtoend("h200-llama3-8b", "burstgpt", reports)
+
+    def test_unknown_testbed_rejected(self):
+        with pytest.raises(KeyError):
+            endtoend.build_trace_workload("tpu-pod")
+
+    def test_unknown_trace_rejected(self):
+        with pytest.raises(ValueError):
+            endtoend.build_trace_workload("h200-llama3-8b", trace="netflix")
+
+    def test_improvement_summary_needs_both(self):
+        with pytest.raises(KeyError):
+            endtoend.improvement_summary({"sglang": None})
+
+
+class TestOverhead:
+    def test_tokenflow_pass_cheap_but_pricier_than_sglang(self):
+        results = overhead_mod.measure_overhead(
+            systems=("sglang", "tokenflow"), n_requests=60, repeats=10
+        )
+        by_name = {r.system: r for r in results}
+        assert by_name["tokenflow"].pass_ms_mean < 50.0  # well under an iteration
+        assert by_name["sglang"].pass_ms_mean < by_name["tokenflow"].pass_ms_mean * 50
+        assert "overhead" in overhead_mod.render_overhead(results)

@@ -1,0 +1,67 @@
+"""Unit tests for the experiment system factory."""
+
+import pytest
+
+from repro.baselines import AndesScheduler, SGLangChunkedScheduler, SGLangScheduler
+from repro.core.scheduler import TokenFlowScheduler
+from repro.experiments.systems import (
+    ABLATION_NAMES,
+    SYSTEM_NAMES,
+    build_system,
+    make_kv_config,
+    make_scheduler,
+)
+
+
+class TestSchedulerFactory:
+    def test_all_names_build(self):
+        for name in SYSTEM_NAMES + ABLATION_NAMES:
+            assert make_scheduler(name) is not None
+
+    def test_types(self):
+        assert isinstance(make_scheduler("sglang"), SGLangScheduler)
+        assert isinstance(make_scheduler("sglang-chunked"), SGLangChunkedScheduler)
+        assert isinstance(make_scheduler("andes"), AndesScheduler)
+        assert isinstance(make_scheduler("tokenflow"), TokenFlowScheduler)
+        assert isinstance(make_scheduler("tokenflow-no-offload"), TokenFlowScheduler)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            make_scheduler("vllm")
+
+
+class TestKVFactory:
+    def test_baselines_have_no_offload(self):
+        for name in ("sglang", "sglang-chunked", "andes"):
+            assert not make_kv_config(name).enable_offload
+
+    def test_tokenflow_full_codesign(self):
+        config = make_kv_config("tokenflow")
+        assert config.enable_offload
+        assert config.write_through
+        assert config.load_evict_overlap
+
+    def test_ablations_disable_one_feature_each(self):
+        assert not make_kv_config("tokenflow-no-offload").enable_offload
+        assert not make_kv_config("tokenflow-no-writethrough").write_through
+        assert not make_kv_config("tokenflow-no-overlap").load_evict_overlap
+
+    def test_block_size_propagates(self):
+        assert make_kv_config("tokenflow", block_size=32).block_size == 32
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            make_kv_config("orca")
+
+
+class TestBuildSystem:
+    def test_report_labelled_with_system_name(self):
+        system = build_system("tokenflow-no-offload", mem_frac=0.05)
+        assert system.scheduler.name == "tokenflow-no-offload"
+
+    def test_settings_propagate(self):
+        system = build_system("sglang", hardware="a6000", model="qwen2-7b",
+                              max_batch=16)
+        assert system.config.hardware.name == "a6000"
+        assert system.config.model.name == "qwen2-7b"
+        assert system.config.max_batch == 16

@@ -1,0 +1,53 @@
+"""Unit tests for hardware specs."""
+
+import pytest
+
+from repro.gpu.hardware import HARDWARE_SPECS, HardwareSpec, get_hardware
+
+
+class TestSpecs:
+    def test_all_paper_gpus_present(self):
+        for name in ("rtx4090", "a6000", "h200", "ascend910b"):
+            assert name in HARDWARE_SPECS
+
+    def test_h200_dominates_a6000(self):
+        h200, a6000 = get_hardware("h200"), get_hardware("a6000")
+        assert h200.fp16_tflops > a6000.fp16_tflops
+        assert h200.mem_bandwidth_gbps > a6000.mem_bandwidth_gbps
+        assert h200.mem_capacity_gb > a6000.mem_capacity_gb
+
+    def test_effective_values_below_peak(self):
+        for spec in HARDWARE_SPECS.values():
+            assert spec.effective_flops < spec.fp16_tflops * 1e12
+            assert spec.effective_mem_bandwidth < spec.mem_bandwidth_gbps * 1e9
+
+    def test_capacity_bytes(self):
+        assert get_hardware("rtx4090").mem_capacity_bytes == int(24e9)
+
+    def test_pcie_bytes_per_s(self):
+        assert get_hardware("h200").pcie_bytes_per_s == 50e9
+
+
+class TestLookup:
+    def test_case_insensitive(self):
+        assert get_hardware("H200") is get_hardware("h200")
+
+    def test_separator_insensitive(self):
+        assert get_hardware("RTX-4090") is get_hardware("rtx4090")
+        assert get_hardware("ascend_910b") is get_hardware("ascend910b")
+
+    def test_unknown_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="h200"):
+            get_hardware("tpu-v5")
+
+
+class TestValidation:
+    def test_zero_flops_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareSpec("bad", 0.0, 100.0, 10.0, 10.0)
+
+    def test_bad_efficiency_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareSpec("bad", 10.0, 100.0, 10.0, 10.0, compute_efficiency=1.5)
+        with pytest.raises(ValueError):
+            HardwareSpec("bad", 10.0, 100.0, 10.0, 10.0, bandwidth_efficiency=0.0)

@@ -1,0 +1,45 @@
+"""Unit tests for model specs."""
+
+import pytest
+
+from repro.gpu.models import MODEL_SPECS, ModelSpec, get_model
+
+
+class TestSpecs:
+    def test_all_paper_models_present(self):
+        for name in ("llama3-8b", "qwen2-7b", "qwen2.5-7b", "qwen2.5-32b"):
+            assert name in MODEL_SPECS
+
+    def test_llama3_kv_bytes_per_token(self):
+        # 2 (K+V) * 32 layers * 8 kv heads * 128 dim * 2 bytes = 128 KiB
+        assert get_model("llama3-8b").kv_bytes_per_token == 131072
+
+    def test_qwen32b_heavier_than_8b(self):
+        small, big = get_model("llama3-8b"), get_model("qwen2.5-32b")
+        assert big.weight_bytes > small.weight_bytes
+        assert big.kv_bytes_per_token > small.kv_bytes_per_token
+
+    def test_weight_bytes_fp16(self):
+        assert get_model("llama3-8b").weight_bytes == 16e9
+
+    def test_flops_per_token(self):
+        assert get_model("llama3-8b").flops_per_token == 16e9
+
+
+class TestLookup:
+    def test_case_insensitive(self):
+        assert get_model("Llama3-8B") is get_model("llama3-8b")
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_model("gpt-5")
+
+
+class TestValidation:
+    def test_kv_heads_cannot_exceed_heads(self):
+        with pytest.raises(ValueError):
+            ModelSpec("bad", 1e9, 16, 1024, 8, 16, 64)
+
+    def test_positive_params_required(self):
+        with pytest.raises(ValueError):
+            ModelSpec("bad", 0, 16, 1024, 16, 8, 64)

@@ -1,0 +1,109 @@
+"""Integration tests: the paper's headline comparisons must reproduce.
+
+These run the full serving stack (scheduler + executor + KV manager +
+client buffers) on a meaningful burst and assert the *directional*
+results of the paper's evaluation:
+
+* TokenFlow cuts mean and P99 TTFT versus SGLang under bursts;
+* TokenFlow raises effective throughput;
+* TokenFlow keeps raw throughput comparable to SGLang;
+* Andes improves TTFT but degrades throughput;
+* TokenFlow's QoS beats both baselines.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_comparison
+from repro.sim.rng import RngStreams
+from repro.workload.builder import RateMixture, WorkloadBuilder, WorkloadSpec
+from repro.workload.lengths import NormalLengthSampler
+
+
+@pytest.fixture(scope="module")
+def burst_reports():
+    """One shared heavy-burst comparison across the four systems."""
+    spec = WorkloadSpec(
+        arrival="burst",
+        n_requests=120,
+        burst_spread=0.25,
+        lengths=NormalLengthSampler(),
+        rates=RateMixture.fixed(10.0),
+    )
+    requests = WorkloadBuilder(spec, RngStreams(0)).build()
+    return run_comparison(
+        ("sglang", "sglang-chunked", "andes", "tokenflow"),
+        requests,
+        hardware="h200",
+        model="llama3-8b",
+        mem_frac=0.1,
+        max_batch=48,
+    )
+
+
+class TestHeadlineClaims:
+    def test_all_systems_complete(self, burst_reports):
+        for report in burst_reports.values():
+            assert report.n_finished == report.n_requests == 120
+
+    def test_tokenflow_cuts_mean_ttft(self, burst_reports):
+        assert (
+            burst_reports["tokenflow"].ttft_mean
+            < 0.5 * burst_reports["sglang"].ttft_mean
+        )
+
+    def test_tokenflow_cuts_p99_ttft(self, burst_reports):
+        assert (
+            burst_reports["tokenflow"].ttft_p99
+            < 0.5 * burst_reports["sglang"].ttft_p99
+        )
+
+    def test_tokenflow_raises_effective_throughput(self, burst_reports):
+        assert (
+            burst_reports["tokenflow"].effective_throughput
+            > 1.2 * burst_reports["sglang"].effective_throughput
+        )
+
+    def test_tokenflow_sustains_raw_throughput(self, burst_reports):
+        """'without degrading overall token throughput' (abstract)."""
+        assert (
+            burst_reports["tokenflow"].throughput
+            > 0.85 * burst_reports["sglang"].throughput
+        )
+
+    def test_tokenflow_best_qos(self, burst_reports):
+        tokenflow = burst_reports["tokenflow"].qos
+        assert tokenflow > burst_reports["sglang"].qos
+        assert tokenflow > burst_reports["andes"].qos
+
+    def test_andes_improves_ttft_but_loses_throughput(self, burst_reports):
+        andes, sglang = burst_reports["andes"], burst_reports["sglang"]
+        assert andes.ttft_mean < sglang.ttft_mean
+        assert andes.throughput < sglang.throughput
+
+    def test_tokenflow_preempts_baselines_do_not(self, burst_reports):
+        assert burst_reports["tokenflow"].preemptions > 0
+        assert burst_reports["sglang"].preemptions == 0
+
+    def test_chunked_close_to_plain_sglang(self, burst_reports):
+        plain, chunked = burst_reports["sglang"], burst_reports["sglang-chunked"]
+        assert chunked.throughput == pytest.approx(plain.throughput, rel=0.2)
+
+
+class TestTokenFlowMechanisms:
+    def test_write_through_syncs_ahead_of_eviction(self, burst_reports):
+        kv_stats = burst_reports["tokenflow"].kv_stats
+        # Most offloaded bytes moved proactively (write-through), not
+        # reactively at eviction time.
+        assert kv_stats["write_through_bytes"] > kv_stats["eviction_tail_bytes"]
+
+    def test_loads_preferred_over_recompute(self, burst_reports):
+        """§4.2.3: with idle PCIe, loading beats recomputing."""
+        scheduler_stats = burst_reports["tokenflow"].scheduler_stats
+        kv_stats = burst_reports["tokenflow"].kv_stats
+        assert kv_stats["loads"] >= scheduler_stats["recomputes"]
+
+    def test_stalls_bounded(self, burst_reports):
+        """Preemption must not wreck smoothness: per-request stall
+        stays far below what head-of-line queueing would cause."""
+        report = burst_reports["tokenflow"]
+        assert report.stall_mean < 1.0

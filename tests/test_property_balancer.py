@@ -1,0 +1,80 @@
+"""Property-based tests for the buffer balancer."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.balancer import BufferBalancer, Candidate
+
+
+@st.composite
+def candidate_sets(draw):
+    n = draw(st.integers(min_value=0, max_value=20))
+    candidates = []
+    for req_id in range(n):
+        resident = draw(st.booleans())
+        pinned = resident and draw(st.booleans())
+        candidates.append(
+            Candidate(
+                req_id=req_id,
+                priority=draw(st.floats(0.0, 10.0)),
+                blocks=draw(st.integers(0, 50)),
+                resident=resident,
+                pinned=pinned,
+            )
+        )
+    return candidates
+
+
+class TestBalancerProperties:
+    @given(
+        candidates=candidate_sets(),
+        budget=st.integers(0, 200),
+        max_batch=st.integers(1, 16),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_selection_is_consistent_partition(self, candidates, budget, max_batch):
+        result = BufferBalancer().balance(candidates, budget, max_batch)
+        selected = set(result.selected)
+        by_id = {c.req_id: c for c in candidates}
+        # Diff lists are consistent with the selection.
+        for rid in result.to_resume:
+            assert rid in selected and not by_id[rid].resident
+        for rid in result.to_preempt:
+            assert rid not in selected and by_id[rid].resident
+            assert not by_id[rid].pinned  # pinned never preempted
+        # Batch cap respected (pinned overflow can exceed the budget,
+        # but never the count cap).
+        assert len(selected) <= max_batch
+
+    @given(
+        candidates=candidate_sets(),
+        budget=st.integers(0, 200),
+        max_batch=st.integers(1, 16),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_budget_respected_for_unpinned(self, candidates, budget, max_batch):
+        """Unpinned selections fit the budget (pinned keep their memory)."""
+        result = BufferBalancer().balance(candidates, budget, max_batch)
+        by_id = {c.req_id: c for c in candidates}
+        unpinned_blocks = sum(
+            by_id[rid].blocks for rid in result.selected if not by_id[rid].pinned
+        )
+        pinned_blocks = sum(
+            by_id[rid].blocks for rid in result.selected if by_id[rid].pinned
+        )
+        assert unpinned_blocks <= max(0, budget) + pinned_blocks or unpinned_blocks == 0
+
+    @given(
+        candidates=candidate_sets(),
+        budget=st.integers(0, 200),
+        max_batch=st.integers(1, 16),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_local_search_never_worse_than_greedy(self, candidates, budget, max_batch):
+        greedy = BufferBalancer(local_search_passes=0).balance(
+            candidates, budget, max_batch
+        )
+        refined = BufferBalancer(local_search_passes=3).balance(
+            candidates, budget, max_batch
+        )
+        assert refined.total_priority >= greedy.total_priority - 1e-9

@@ -1,0 +1,63 @@
+"""Property-based tests for multi-turn session workloads."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.scheduler import TokenFlowScheduler
+from repro.serving.config import ServingConfig
+from repro.serving.server import ServingSystem
+from repro.workload.sessions import SessionDriver, SessionSpec
+
+
+@st.composite
+def session_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=4))
+    sessions = []
+    for sid in range(n):
+        sessions.append(SessionSpec(
+            session_id=sid,
+            n_turns=draw(st.integers(1, 3)),
+            first_arrival=draw(st.floats(0.0, 3.0)),
+            question_tokens=draw(st.integers(16, 128)),
+            answer_tokens=draw(st.integers(16, 128)),
+            think_time_s=draw(st.floats(0.0, 2.0)),
+            rate=draw(st.sampled_from([5.0, 10.0, 20.0])),
+        ))
+    return sessions
+
+
+class TestSessionProperties:
+    @given(sessions=session_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_every_session_terminates(self, sessions):
+        config = ServingConfig(hardware="h200", model="llama3-8b",
+                               mem_frac=0.02, max_batch=8)
+        system = ServingSystem(config, TokenFlowScheduler())
+        driver = SessionDriver(system, sessions)
+        driver.start()
+        system.run(until=200_000.0)
+        assert system.unfinished == 0
+        assert driver.all_done
+        # Every turn of every session exists and finished with the
+        # history-growth law respected.
+        for spec in sessions:
+            for turn in range(spec.n_turns):
+                entry = system.tracker.get(spec.request_id(turn))
+                assert entry.request.is_finished
+                assert entry.request.prompt_len == spec.prompt_len_at(turn)
+
+    @given(sessions=session_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_turn_ordering_respected(self, sessions):
+        """Turn k+1 never arrives before turn k's answer completed."""
+        config = ServingConfig(hardware="h200", model="llama3-8b",
+                               mem_frac=0.02, max_batch=8)
+        system = ServingSystem(config, TokenFlowScheduler())
+        driver = SessionDriver(system, sessions)
+        driver.start()
+        system.run(until=200_000.0)
+        for spec in sessions:
+            for turn in range(1, spec.n_turns):
+                previous = system.tracker.get(spec.request_id(turn - 1)).request
+                current = system.tracker.get(spec.request_id(turn)).request
+                assert current.arrival_time >= previous.finish_time - 1e-9

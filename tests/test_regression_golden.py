@@ -1,0 +1,83 @@
+"""Golden regression test: a pinned scenario's exact metrics.
+
+The simulator is deterministic, so this fixed 24-request burst must
+reproduce these numbers bit-for-bit (up to float tolerance).  Any
+behavioural change to the scheduler, memory manager, latency model, or
+serving loop shows up here first — if a change is *intentional*,
+regenerate the goldens with the command in the comment below.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_comparison
+from repro.sim.rng import RngStreams
+from repro.workload.builder import RateMixture, WorkloadBuilder, WorkloadSpec
+
+# Regenerate after intentional behaviour changes with:
+#   python -c "see tests/test_regression_golden.py docstring scenario"
+GOLDEN = {
+    "sglang": dict(
+        throughput=1017.9222922304302,
+        effective_throughput=164.13436426805185,
+        ttft_mean=7.031508756383656,
+        ttft_p99=15.676536112916832,
+        stall_total=0.0,
+        preemptions=1,
+    ),
+    "andes": dict(
+        throughput=511.13103622269205,
+        effective_throughput=106.38967974638149,
+        ttft_mean=0.48950130738028746,
+        ttft_p99=0.9564914159206187,
+        stall_total=0.0,
+        preemptions=619,
+    ),
+    "tokenflow": dict(
+        throughput=1016.6633538657566,
+        effective_throughput=217.28395441931013,
+        ttft_mean=0.19928931115219042,
+        ttft_p99=0.8258598827359686,
+        stall_total=0.22232648857674786,
+        preemptions=54,
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def reports():
+    spec = WorkloadSpec(
+        arrival="burst", n_requests=24, burst_spread=0.25,
+        rates=RateMixture.fixed(10.0),
+    )
+    requests = WorkloadBuilder(spec, RngStreams(42)).build()
+    return run_comparison(
+        ("sglang", "andes", "tokenflow"), requests,
+        hardware="h200", model="llama3-8b", mem_frac=0.01, max_batch=8,
+    )
+
+
+@pytest.mark.parametrize("system", sorted(GOLDEN))
+def test_golden_metrics(reports, system):
+    report = reports[system]
+    golden = GOLDEN[system]
+    assert report.throughput == pytest.approx(golden["throughput"], rel=1e-9)
+    assert report.effective_throughput == pytest.approx(
+        golden["effective_throughput"], rel=1e-9
+    )
+    assert report.ttft_mean == pytest.approx(golden["ttft_mean"], rel=1e-9)
+    assert report.ttft_p99 == pytest.approx(golden["ttft_p99"], rel=1e-9)
+    assert report.stall_total == pytest.approx(
+        golden["stall_total"], abs=1e-9
+    )
+    assert report.preemptions == golden["preemptions"]
+
+
+def test_golden_relationships(reports):
+    """The relationships the paper claims, pinned on this scenario."""
+    sglang, andes, tokenflow = (
+        reports["sglang"], reports["andes"], reports["tokenflow"]
+    )
+    assert tokenflow.ttft_p99 < 0.1 * sglang.ttft_p99
+    assert tokenflow.effective_throughput > 1.3 * sglang.effective_throughput
+    assert tokenflow.throughput > 0.95 * sglang.throughput
+    assert andes.throughput < 0.6 * sglang.throughput

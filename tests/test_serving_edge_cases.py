@@ -1,0 +1,175 @@
+"""Serving-loop edge cases and failure injection.
+
+Covers the awkward corners a production serving system must survive:
+single-token outputs, prompts larger than the whole KV pool fraction,
+extreme rates, arrival droughts, host-pool exhaustion, and pathological
+parameter settings.
+"""
+
+import pytest
+
+from repro.baselines import SGLangScheduler
+from repro.core.scheduler import TokenFlowParams, TokenFlowScheduler
+from repro.memory.kv_manager import KVManagerConfig
+from repro.serving.config import ServingConfig
+from repro.serving.server import ServingSystem
+from repro.workload.request import Request
+
+
+def make_system(scheduler=None, mem_frac=0.01, max_batch=8, kv=None):
+    config = ServingConfig(
+        hardware="h200", model="llama3-8b", mem_frac=mem_frac,
+        max_batch=max_batch, kv=kv or KVManagerConfig(),
+    )
+    return ServingSystem(config, scheduler or TokenFlowScheduler())
+
+
+class TestDegenerateRequests:
+    def test_single_token_output(self):
+        """Output of one token: the prefill's token finishes the request."""
+        system = make_system()
+        system.submit([Request(req_id=0, arrival_time=0.0, prompt_len=64,
+                               output_len=1, rate=10.0)])
+        system.run(until=100.0)
+        assert system.unfinished == 0
+        assert system.tracker.get(0).request.generated == 1
+
+    def test_tiny_prompt(self):
+        system = make_system()
+        system.submit([Request(req_id=0, arrival_time=0.0, prompt_len=1,
+                               output_len=4, rate=10.0)])
+        system.run(until=100.0)
+        assert system.unfinished == 0
+
+    def test_very_slow_reader(self):
+        """0.1 tok/s reader: the run still terminates; generation is
+        not throttled by consumption."""
+        system = make_system()
+        system.submit([Request(req_id=0, arrival_time=0.0, prompt_len=32,
+                               output_len=32, rate=0.1)])
+        system.run(until=10_000.0)
+        assert system.unfinished == 0
+
+    def test_very_fast_reader(self):
+        """1000 tok/s reader outpaces generation: stalls accrue but the
+        request completes."""
+        system = make_system()
+        system.submit([Request(req_id=0, arrival_time=0.0, prompt_len=32,
+                               output_len=64, rate=1000.0)])
+        system.run(until=10_000.0)
+        entry = system.tracker.get(0)
+        assert entry.request.is_finished
+        assert entry.buffer.stall_time >= 0.0
+
+    def test_prompt_larger_than_pool_blocks_forever(self):
+        """A prompt that can never fit stays queued; others proceed."""
+        system = make_system(mem_frac=0.001, scheduler=SGLangScheduler())
+        pool_tokens = system.kv.gpu_pool.capacity * system.kv.gpu_pool.block_size
+        giant = Request(req_id=0, arrival_time=0.0,
+                        prompt_len=pool_tokens + 1000, output_len=4, rate=10.0)
+        system.submit([giant])
+        system.run(until=50.0)
+        assert system.unfinished == 1  # honestly stuck, not crashed
+        assert giant.ttft is None
+
+
+class TestArrivalPatterns:
+    def test_long_idle_gap_between_arrivals(self):
+        system = make_system()
+        system.submit([
+            Request(req_id=0, arrival_time=0.0, prompt_len=64,
+                    output_len=16, rate=10.0),
+            Request(req_id=1, arrival_time=500.0, prompt_len=64,
+                    output_len=16, rate=10.0),
+        ])
+        system.run(until=10_000.0)
+        assert system.unfinished == 0
+        assert system.tracker.get(1).request.ttft < 1.0  # served on arrival
+
+    def test_empty_workload(self):
+        system = make_system()
+        system.run(until=10.0)
+        assert system.unfinished == 0
+        assert system.makespan() == 0.0
+
+    def test_incremental_submission(self):
+        system = make_system()
+        system.submit([Request(req_id=0, arrival_time=0.0, prompt_len=64,
+                               output_len=16, rate=10.0)])
+        system.run(until=5.0)
+        system.submit([Request(req_id=1, arrival_time=6.0, prompt_len=64,
+                               output_len=16, rate=10.0)])
+        system.run(until=10_000.0)
+        assert system.unfinished == 0
+
+
+class TestHostPoolExhaustion:
+    def test_tiny_cpu_pool_degrades_to_recompute(self):
+        """When the host pool can't take offloads, preemption falls
+        back to dropping KV and recomputing — no deadlock."""
+        kv = KVManagerConfig(cpu_capacity_blocks=4)
+        system = make_system(mem_frac=0.002, max_batch=4, kv=kv)
+        system.submit([
+            Request(req_id=i, arrival_time=0.0, prompt_len=256,
+                    output_len=128, rate=10.0)
+            for i in range(8)
+        ])
+        system.run(until=10_000.0)
+        assert system.unfinished == 0
+        # Either it never needed to offload, or drops happened.
+        assert system.kv.stats["recompute_drops"] >= 0
+
+
+class TestPathologicalParameters:
+    def test_huge_tick_interval(self):
+        params = TokenFlowParams(tick_interval=30.0)
+        system = make_system(scheduler=TokenFlowScheduler(params))
+        system.submit([
+            Request(req_id=i, arrival_time=0.0, prompt_len=128,
+                    output_len=64, rate=10.0)
+            for i in range(6)
+        ])
+        system.run(until=10_000.0)
+        assert system.unfinished == 0
+
+    def test_max_batch_one(self):
+        system = make_system(max_batch=1)
+        system.submit([
+            Request(req_id=i, arrival_time=0.0, prompt_len=64,
+                    output_len=32, rate=5.0)
+            for i in range(4)
+        ])
+        system.run(until=10_000.0)
+        assert system.unfinished == 0
+
+    def test_zero_gamma_priority(self):
+        from repro.core.utility import UtilityParams
+        params = TokenFlowParams(utility=UtilityParams(gamma=0.0))
+        system = make_system(scheduler=TokenFlowScheduler(params))
+        system.submit([
+            Request(req_id=i, arrival_time=0.0, prompt_len=128,
+                    output_len=64, rate=10.0)
+            for i in range(6)
+        ])
+        system.run(until=10_000.0)
+        assert system.unfinished == 0
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_metrics(self):
+        def run_once():
+            system = make_system(mem_frac=0.005, max_batch=4)
+            system.submit([
+                Request(req_id=i, arrival_time=0.1 * i, prompt_len=128,
+                        output_len=96, rate=10.0)
+                for i in range(10)
+            ])
+            system.run(until=10_000.0)
+            report = system.report()
+            return (
+                report.throughput, report.ttft_mean, report.ttft_p99,
+                report.effective_throughput, report.preemptions,
+                report.stall_total,
+            )
+
+        assert run_once() == run_once()

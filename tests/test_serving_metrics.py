@@ -1,0 +1,82 @@
+"""Unit tests for metric collection and the run report."""
+
+import math
+
+import pytest
+
+from repro.core.tracker import RequestTracker
+from repro.serving.metrics import RunReport, build_report
+from repro.workload.request import RequestState
+from tests.conftest import make_request
+
+
+def tracked_run():
+    """Two finished requests with known token timings."""
+    tracker = RequestTracker()
+    fast = make_request(req_id=1, arrival=0.0, output=5, rate=10.0)
+    slow = make_request(req_id=2, arrival=0.0, output=5, rate=10.0)
+    for request in (fast, slow):
+        tracker.register(request)
+        request.transition(RequestState.PREFILLING)
+        request.transition(RequestState.RUNNING)
+    for idx in range(5):
+        tracker.deliver_token(1, 0.5 + 0.1 * idx)      # ttft 0.5, steady
+    for idx in range(5):
+        tracker.deliver_token(2, 5.0 + 1.0 * idx)      # ttft 5, stalls
+    for request in (fast, slow):
+        request.transition(RequestState.FINISHED)
+    tracker.mark_finished(1, 0.9)
+    tracker.mark_finished(2, 9.0)
+    return tracker
+
+
+class TestBuildReport:
+    def test_counts(self):
+        report = build_report("test", tracked_run(), makespan=9.0)
+        assert report.n_requests == 2
+        assert report.n_finished == 2
+        assert report.total_tokens == 10
+
+    def test_throughput(self):
+        report = build_report("test", tracked_run(), makespan=10.0)
+        assert report.throughput == pytest.approx(1.0)
+
+    def test_ttft_stats(self):
+        report = build_report("test", tracked_run(), makespan=9.0)
+        assert report.ttft_mean == pytest.approx((0.5 + 5.0) / 2)
+        assert report.ttft_p50 == pytest.approx(2.75)
+
+    def test_stalls_counted(self):
+        report = build_report("test", tracked_run(), makespan=9.0)
+        # Request 2 gets tokens 1 s apart but reads at 10 tok/s:
+        # 0.9 s of stall per gap, four gaps.
+        assert report.stall_total == pytest.approx(3.6)
+
+    def test_effective_tokens_bounded_by_total(self):
+        report = build_report("test", tracked_run(), makespan=9.0)
+        assert 0 < report.effective_tokens <= report.total_tokens
+
+    def test_qos_penalises_the_slow_request(self):
+        report = build_report("test", tracked_run(), makespan=9.0)
+        by_id = {m.req_id: m for m in report.per_request}
+        assert by_id[1].qos_term > by_id[2].qos_term
+
+    def test_per_request_fields(self):
+        report = build_report("test", tracked_run(), makespan=9.0)
+        metrics = report.per_request[0]
+        assert metrics.generated == 5
+        assert metrics.output_len == 5
+        assert metrics.preemptions == 0
+
+    def test_unstarted_request_has_nan_free_handling(self):
+        tracker = RequestTracker()
+        tracker.register(make_request(req_id=1))
+        report = build_report("test", tracker, makespan=5.0)
+        assert report.n_finished == 0
+        assert math.isnan(report.ttft_mean)
+
+    def test_summary_row_shape(self):
+        report = build_report("test", tracked_run(), makespan=9.0)
+        row = report.summary_row()
+        assert row[0] == "test"
+        assert len(row) == len(RunReport.summary_headers())

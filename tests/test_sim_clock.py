@@ -1,0 +1,39 @@
+"""Unit tests for the simulation clock."""
+
+import pytest
+
+from repro.sim.clock import ClockError, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now() == 0.0
+
+    def test_custom_epoch(self):
+        assert SimClock(epoch=5.0).now() == 5.0
+
+    def test_negative_epoch_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(epoch=-1.0)
+
+    def test_advance_forward(self):
+        clock = SimClock()
+        clock.advance_to(3.5)
+        assert clock.now() == 3.5
+
+    def test_advance_to_same_time_is_noop(self):
+        clock = SimClock()
+        clock.advance_to(2.0)
+        clock.advance_to(2.0)
+        assert clock.now() == 2.0
+
+    def test_advance_backwards_raises(self):
+        clock = SimClock()
+        clock.advance_to(2.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(1.0)
+
+    def test_repr_contains_time(self):
+        clock = SimClock()
+        clock.advance_to(1.25)
+        assert "1.25" in repr(clock)

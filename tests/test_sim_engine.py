@@ -1,0 +1,107 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimEngine
+
+
+class TestScheduling:
+    def test_call_at_runs_at_time(self, engine):
+        times = []
+        engine.call_at(2.5, lambda: times.append(engine.now()))
+        engine.run()
+        assert times == [2.5]
+
+    def test_call_after_offsets_from_now(self, engine):
+        times = []
+        engine.call_at(1.0, lambda: engine.call_after(0.5, lambda: times.append(engine.now())))
+        engine.run()
+        assert times == [1.5]
+
+    def test_call_at_past_raises(self, engine):
+        engine.call_at(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.call_at(0.5, lambda: None)
+
+    def test_negative_delay_raises(self, engine):
+        with pytest.raises(ValueError):
+            engine.call_after(-0.1, lambda: None)
+
+    def test_events_execute_in_order(self, engine):
+        order = []
+        engine.call_at(3.0, lambda: order.append("c"))
+        engine.call_at(1.0, lambda: order.append("a"))
+        engine.call_at(2.0, lambda: order.append("b"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_cancelled_event_does_not_fire(self, engine):
+        fired = []
+        event = engine.call_at(1.0, lambda: fired.append(1))
+        event.cancel()
+        engine.run()
+        assert fired == []
+
+
+class TestRun:
+    def test_run_until_stops_before_later_events(self, engine):
+        fired = []
+        engine.call_at(1.0, lambda: fired.append(1))
+        engine.call_at(10.0, lambda: fired.append(10))
+        end = engine.run(until=5.0)
+        assert fired == [1]
+        assert end == 5.0
+        assert engine.pending() == 1
+
+    def test_run_until_advances_clock_to_horizon(self, engine):
+        end = engine.run(until=7.0)
+        assert end == 7.0
+        assert engine.now() == 7.0
+
+    def test_run_resumes_after_until(self, engine):
+        fired = []
+        engine.call_at(10.0, lambda: fired.append(10))
+        engine.run(until=5.0)
+        engine.run()
+        assert fired == [10]
+
+    def test_max_events_bounds_execution(self, engine):
+        for idx in range(10):
+            engine.call_at(float(idx), lambda: None)
+        engine.run(max_events=3)
+        assert engine.events_processed == 3
+
+    def test_stop_exits_loop(self, engine):
+        fired = []
+        engine.call_at(1.0, lambda: (fired.append(1), engine.stop()))
+        engine.call_at(2.0, lambda: fired.append(2))
+        engine.run()
+        assert fired == [1]
+
+    def test_reentrant_run_rejected(self, engine):
+        def recurse():
+            engine.run()
+
+        engine.call_at(1.0, recurse)
+        with pytest.raises(RuntimeError):
+            engine.run()
+
+    def test_events_processed_counter(self, engine):
+        engine.call_at(1.0, lambda: None)
+        engine.call_at(2.0, lambda: None)
+        engine.run()
+        assert engine.events_processed == 2
+
+    def test_event_can_schedule_more_events(self, engine):
+        fired = []
+
+        def chain(depth):
+            fired.append(depth)
+            if depth < 3:
+                engine.call_after(1.0, lambda: chain(depth + 1))
+
+        engine.call_at(0.0, lambda: chain(0))
+        engine.run()
+        assert fired == [0, 1, 2, 3]
+        assert engine.now() == 3.0

@@ -1,0 +1,68 @@
+"""Unit tests for the event queue."""
+
+from repro.sim.events import EventQueue
+
+
+class TestEventQueue:
+    def test_pop_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(2.0, lambda: order.append("b"))
+        queue.push(1.0, lambda: order.append("a"))
+        queue.push(3.0, lambda: order.append("c"))
+        while queue:
+            queue.pop().action()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        queue = EventQueue()
+        order = []
+        for name in ("first", "second", "third"):
+            queue.push(1.0, lambda n=name: order.append(n))
+        while queue:
+            queue.pop().action()
+        assert order == ["first", "second", "third"]
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+    def test_cancelled_events_skipped(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.push(1.0, lambda: fired.append(1))
+        queue.push(2.0, lambda: fired.append(2))
+        event.cancel()
+        while queue:
+            queue.pop().action()
+        assert fired == [2]
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(4.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert queue.peek_time() == 2.0
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        early = queue.push(1.0, lambda: None)
+        queue.push(5.0, lambda: None)
+        early.cancel()
+        assert queue.peek_time() == 5.0
+
+    def test_len_counts_live_events(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        first.cancel()
+        # Cancellation is lazy, but pop() discards the cancelled entry
+        # and corrects the count in the same call.
+        queue.pop()
+        assert len(queue) == 0
+
+    def test_bool_reflects_liveness(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(1.0, lambda: None)
+        assert queue

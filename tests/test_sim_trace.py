@@ -1,0 +1,95 @@
+"""Tests for structured event tracing."""
+
+import json
+
+import pytest
+
+from repro.baselines import SGLangScheduler
+from repro.serving.config import ServingConfig
+from repro.serving.server import ServingSystem
+from repro.sim.trace import TraceRecorder
+from repro.workload.request import Request
+
+
+class TestRecorder:
+    def test_records_events(self):
+        tracer = TraceRecorder()
+        tracer.record(1.0, "a", "x", value=1)
+        tracer.record(2.0, "b", "y")
+        assert len(tracer) == 2
+        assert tracer.records[0].fields == {"value": 1}
+
+    def test_category_filter(self):
+        tracer = TraceRecorder(categories=["keep"])
+        tracer.record(0.0, "keep", "x")
+        tracer.record(0.0, "drop", "y")
+        assert len(tracer) == 1
+        assert not tracer.wants("drop")
+
+    def test_capacity_ring_buffer(self):
+        tracer = TraceRecorder(capacity=2)
+        for idx in range(5):
+            tracer.record(float(idx), "c", "e")
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+        assert tracer.records[0].time == 3.0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(capacity=0)
+
+    def test_queries(self):
+        tracer = TraceRecorder()
+        tracer.record(1.0, "a", "x")
+        tracer.record(2.0, "a", "y")
+        tracer.record(3.0, "b", "x")
+        assert len(tracer.by_category("a")) == 2
+        assert len(tracer.by_event("x")) == 2
+        assert len(tracer.between(1.5, 3.5)) == 2
+        assert tracer.counts()[("a", "x")] == 1
+
+    def test_jsonl_export(self, tmp_path):
+        tracer = TraceRecorder()
+        tracer.record(1.0, "a", "x", req_id=7)
+        path = tracer.to_jsonl(tmp_path / "trace.jsonl")
+        record = json.loads(path.read_text().strip())
+        assert record == {"time": 1.0, "category": "a", "event": "x", "req_id": 7}
+
+
+class TestServingIntegration:
+    def test_serving_run_emits_lifecycle_and_executor_events(self):
+        tracer = TraceRecorder()
+        config = ServingConfig(hardware="h200", model="llama3-8b",
+                               mem_frac=0.02, max_batch=4)
+        system = ServingSystem(config, SGLangScheduler(), tracer=tracer)
+        system.submit([
+            Request(req_id=i, arrival_time=0.0, prompt_len=64,
+                    output_len=16, rate=10.0)
+            for i in range(3)
+        ])
+        system.run(until=1_000.0)
+        counts = tracer.counts()
+        assert counts[("request", "arrive")] == 3
+        assert counts[("request", "finish")] == 3
+        assert counts.get(("executor", "prefill_start"), 0) >= 1
+        assert counts.get(("executor", "decode_start"), 0) >= 1
+
+    def test_cancel_traced(self):
+        tracer = TraceRecorder(categories=["request"])
+        config = ServingConfig(hardware="h200", model="llama3-8b",
+                               mem_frac=0.02, max_batch=4)
+        system = ServingSystem(config, SGLangScheduler(), tracer=tracer)
+        system.submit([Request(req_id=0, arrival_time=0.0, prompt_len=64,
+                               output_len=2000, rate=10.0)])
+        system.cancel_at(0, when=1.0)
+        system.run(until=100.0)
+        assert tracer.counts().get(("request", "cancel")) == 1
+
+    def test_no_tracer_path_unaffected(self):
+        config = ServingConfig(hardware="h200", model="llama3-8b",
+                               mem_frac=0.02, max_batch=4)
+        system = ServingSystem(config, SGLangScheduler())
+        system.submit([Request(req_id=0, arrival_time=0.0, prompt_len=64,
+                               output_len=8, rate=10.0)])
+        system.run(until=100.0)
+        assert system.unfinished == 0

@@ -1,0 +1,102 @@
+"""Unit tests for the BurstGPT and production trace synthesizers."""
+
+import numpy as np
+import pytest
+
+from repro.workload.burstgpt import BurstGPTTraceGenerator
+from repro.workload.production import ProductionTraceGenerator
+
+
+class TestBurstGPT:
+    def test_generates_sorted_arrivals(self):
+        rng = np.random.default_rng(0)
+        gen = BurstGPTTraceGenerator(base_rate=2.0)
+        times = gen.generate(300.0, rng)
+        assert np.all(np.diff(times) >= 0)
+        assert times.min() >= 0 and times.max() < 300.0
+
+    def test_bursts_raise_rate_inside_windows(self):
+        rng = np.random.default_rng(1)
+        gen = BurstGPTTraceGenerator(
+            base_rate=1.0, burst_rate_multiplier=10.0,
+            burst_duration=20.0, burst_frequency=1.0 / 100.0,
+        )
+        windows = gen.burst_windows(1000.0, np.random.default_rng(2))
+        times = gen.generate(1000.0, rng)
+        assert len(times) > 1000.0 * 1.0 * 0.8  # at least the baseline
+
+    def test_no_bursts_when_frequency_zero(self):
+        gen = BurstGPTTraceGenerator(base_rate=2.0, burst_frequency=0.0)
+        rng = np.random.default_rng(3)
+        assert gen.burst_windows(100.0, rng) == []
+        times = gen.generate(200.0, rng)
+        assert abs(len(times) / 200.0 - 2.0) < 0.8
+
+    def test_burstier_than_poisson_overall(self):
+        rng = np.random.default_rng(4)
+        gen = BurstGPTTraceGenerator(
+            base_rate=2.0, base_cv=2.0, burst_rate_multiplier=8.0,
+            burst_duration=10.0, burst_frequency=1.0 / 50.0,
+        )
+        times = gen.generate(1000.0, rng)
+        gaps = np.diff(times)
+        assert gaps.std() / gaps.mean() > 1.3
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BurstGPTTraceGenerator(base_rate=0.0)
+        with pytest.raises(ValueError):
+            BurstGPTTraceGenerator(burst_rate_multiplier=0.5)
+
+    def test_invalid_duration(self):
+        gen = BurstGPTTraceGenerator()
+        with pytest.raises(ValueError):
+            gen.generate(0.0, np.random.default_rng(0))
+
+
+class TestProduction:
+    def test_rate_function_positive(self):
+        gen = ProductionTraceGenerator()
+        for t in np.linspace(0, gen.period, 100):
+            assert gen.rate_at(float(t)) > 0
+
+    def test_peaks_raise_rate(self):
+        gen = ProductionTraceGenerator(
+            mean_rate=2.0, diurnal_amplitude=0.0, peak_times=(0.5,),
+            peak_multiplier=5.0, peak_width=0.05,
+        )
+        at_peak = gen.rate_at(0.5 * gen.period)
+        off_peak = gen.rate_at(0.25 * gen.period)
+        assert at_peak > 3 * off_peak
+
+    def test_diurnal_variation(self):
+        gen = ProductionTraceGenerator(
+            mean_rate=2.0, diurnal_amplitude=0.8, peak_times=(),
+        )
+        crest = gen.rate_at(0.25 * gen.period)  # sin peak
+        trough = gen.rate_at(0.75 * gen.period)
+        assert crest > 3 * trough
+
+    def test_max_rate_bounds_rate_at(self):
+        gen = ProductionTraceGenerator()
+        upper = gen.max_rate()
+        for t in np.linspace(0, gen.period, 500):
+            assert gen.rate_at(float(t)) <= upper + 1e-9
+
+    def test_thinning_matches_mean_rate(self):
+        gen = ProductionTraceGenerator(mean_rate=3.0, peak_times=())
+        rng = np.random.default_rng(5)
+        times = gen.generate(600.0, rng)
+        assert abs(len(times) / 600.0 - 3.0) < 0.6
+
+    def test_histogram_shape(self):
+        gen = ProductionTraceGenerator()
+        centres, rates = gen.rate_histogram(600.0, bins=30)
+        assert len(centres) == len(rates) == 30
+        assert np.all(rates > 0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ProductionTraceGenerator(mean_rate=0.0)
+        with pytest.raises(ValueError):
+            ProductionTraceGenerator(diurnal_amplitude=1.5)
