@@ -9,7 +9,10 @@ Usage::
 
 ``list`` enumerates the paper experiments; ``experiment`` regenerates
 one table/figure (same runners the benchmark suite uses);
-``compare`` runs an ad-hoc workload across schedulers.
+``compare`` runs an ad-hoc workload across schedulers; ``profile``
+runs one Table 1 cell under cProfile and prints the hot-spot report
+(wall seconds, function calls, peak RSS) so perf regressions in the
+simulation core are measurable from the command line.
 """
 
 from __future__ import annotations
@@ -159,6 +162,33 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    from repro.experiments.controlled import TABLE1, build_workload, serving_kwargs
+    from repro.sim.profiling import profile_call
+
+    key = (args.gpu, args.setup)
+    if key not in TABLE1:
+        known = ", ".join(f"{g}/{k}" for g, k in sorted(TABLE1))
+        print(f"unknown cell {args.gpu}/{args.setup}; known: {known}",
+              file=sys.stderr)
+        return 2
+    setup = TABLE1[key]
+    requests = build_workload(setup, scale=args.scale, seed=args.seed)
+
+    def run():
+        return run_comparison(
+            (args.system,), requests, horizon=50_000.0,
+            **serving_kwargs(setup, args.scale),
+        )
+
+    report = profile_call(run, top=args.top, wall_runs=1)
+    run_report = report.result[args.system]
+    print(f"{setup.label()} · {args.system} · {len(requests)} requests, "
+          f"{run_report.total_tokens} tokens")
+    print(report.render(top=args.top))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="TokenFlow reproduction experiment runner"
@@ -188,6 +218,19 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument("--max-batch", type=int, default=48)
     cmp_.add_argument("--seed", type=int, default=0)
     cmp_.set_defaults(func=cmd_compare)
+
+    prof = sub.add_parser(
+        "profile", help="profile one Table 1 cell (hot-spot report)"
+    )
+    prof.add_argument("--gpu", default="h200", help="Table 1 GPU (h200/rtx4090)")
+    prof.add_argument("--setup", default="a", help="Table 1 setup key (a-d)")
+    prof.add_argument("--system", default="tokenflow")
+    prof.add_argument("--scale", type=float, default=0.25,
+                      help="workload scale factor (default 0.25)")
+    prof.add_argument("--seed", type=int, default=0)
+    prof.add_argument("--top", type=int, default=20,
+                      help="hot spots to print (default 20)")
+    prof.set_defaults(func=cmd_profile)
     return parser
 
 

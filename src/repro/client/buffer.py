@@ -10,33 +10,70 @@ where ``g_j`` is its generation (delivery) time.  Whenever
 ``g_j > c_{j-1} + 1/rate`` the user wanted a token that did not exist
 yet — the difference accrues as rebuffer (stall) time.
 
-Everything is computed incrementally, O(1) per delivered token, and the
-buffer also records ``B_{i,j}`` — the buffered-token count at the
+Everything is computed incrementally, O(1) per delivered token.  The
+consumption schedule is piecewise arithmetic: between *anchors* (a
+stall, which re-bases consumption at the late token's arrival, or a
+mid-stream rate change) consumption times advance by exactly one
+``interval`` per token.  The buffer therefore keeps only the anchor
+*segments* plus a cursor, giving closed-form O(1) occupancy queries —
+``consumed_count`` replays the identical float additions the delivery
+path performed, so results are bit-identical to a per-token scan.
+
+The buffer also records ``B_{i,j}`` — the buffered-token count at the
 moment token ``j`` was generated — which both the QoS metric (Eq. 1)
-and the effective-throughput weight need.
+and the effective-throughput weight need.  It is kept as a compact
+occupancy histogram; full per-token traces (generation/consumption
+timestamps) are recorded only when ``record_trace`` is enabled, so
+memory-lean simulations can switch them off without changing any
+metric.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Optional
 
 
 class ClientBuffer:
     """Token buffer for one streaming request."""
 
-    def __init__(self, rate: float) -> None:
+    def __init__(self, rate: float, record_trace: bool = True) -> None:
         if rate <= 0:
             raise ValueError(f"rate must be positive, got {rate}")
         self.rate = rate
-        self._interval = 1.0 / rate
+        # Public, read-only by convention: the current pacing interval
+        # (1/rate).  A plain attribute (not a property) because the
+        # scheduler reads it on every buffer-seconds query.
+        self.interval = 1.0 / rate
         self._rate_changes = 0
         self._delivered = 0
-        self._gen_times: list = []
-        self._consume_times: list = []
         self._stall_time = 0.0
-        self._occupancy_at_gen: list = []
-        # Pointer for lazy occupancy queries at non-decreasing times.
-        self._consumed_ptr = 0
+        self._last_gen: Optional[float] = None
+        self._last_consume: Optional[float] = None
+        # Pacing interval of the newest (tail) segment; a delivery whose
+        # current interval differs starts a fresh segment.
+        self._tail_interval: Optional[float] = None
+        # Consumption cursor: `_consumed` tokens have consumption time
+        # <= the latest query; `_next_consume` is the consumption time
+        # of token index `_consumed` (None when everything delivered is
+        # consumed); `_cursor_interval` advances the cursor within its
+        # current segment; `_segments` holds (first_index,
+        # first_consume_time, interval) for segments the cursor has not
+        # reached yet.  Queries must come with non-decreasing ``now``
+        # (true for a simulation), which keeps this O(1) amortised.
+        self._consumed = 0
+        self._next_consume: Optional[float] = None
+        self._cursor_interval = 0.0
+        self._segments: deque = deque()
+        # Compact aggregate: occupancy-at-generation histogram
+        # {occupancy -> token count}, enough for Eq. 1 / §7.1.3 weights.
+        self._occ_hist: dict = {}
+        self._occ_max = 0
+        # Optional unbounded per-token traces (plots, JSONL export).
+        self._trace = record_trace
+        self._gen_times: Optional[list] = [] if record_trace else None
+        self._consume_times: Optional[list] = [] if record_trace else None
+        self._occupancy_at_gen: Optional[list] = [] if record_trace else None
 
     def set_rate(self, rate: float) -> None:
         """Change the consumption rate from now on (adaptive clients, §8).
@@ -48,7 +85,7 @@ class ClientBuffer:
             raise ValueError(f"rate must be positive, got {rate}")
         if rate != self.rate:
             self.rate = rate
-            self._interval = 1.0 / rate
+            self.interval = 1.0 / rate
             self._rate_changes += 1
 
     @property
@@ -56,38 +93,92 @@ class ClientBuffer:
         """Number of mid-stream rate adjustments applied."""
         return self._rate_changes
 
+    @property
+    def records_trace(self) -> bool:
+        """Whether per-token timestamp traces are being kept."""
+        return self._trace
+
     # --- delivery --------------------------------------------------------
     def deliver(self, timestamp: float) -> None:
         """Record delivery of one token at ``timestamp``."""
-        if self._gen_times and timestamp < self._gen_times[-1]:
+        if self._last_gen is not None and timestamp < self._last_gen:
             raise ValueError("deliveries must have non-decreasing timestamps")
-        if self._consume_times:
-            ideal = self._consume_times[-1] + self._interval
-            consume = max(ideal, timestamp)
+        self._last_gen = timestamp
+        interval = self.interval
+        last_consume = self._last_consume
+        if last_consume is not None:
+            ideal = last_consume + interval
             if timestamp > ideal:
+                # The consumer wanted this token before it existed:
+                # rebuffer, then consumption re-bases at its arrival.
                 self._stall_time += timestamp - ideal
+                consume = timestamp
+                fresh_segment = True
+            else:
+                consume = ideal
+                fresh_segment = interval != self._tail_interval
         else:
             # First token: consumption starts when it arrives; startup
             # delay is charged via the TTFT penalty, not as a stall.
             consume = timestamp
-        self._gen_times.append(timestamp)
-        self._consume_times.append(consume)
-        self._delivered += 1
-        self._occupancy_at_gen.append(self.occupancy(timestamp))
+            fresh_segment = True
+        index = self._delivered
+        if self._next_consume is None and self._consumed == index:
+            # Cursor is parked at the end of the stream: point it at
+            # this token directly (no segment record needed).
+            self._next_consume = consume
+            self._cursor_interval = interval
+        elif fresh_segment:
+            self._segments.append((index, consume, interval))
+        if fresh_segment:
+            self._tail_interval = interval
+        self._last_consume = consume
+        self._delivered = index + 1
+        if self._trace:
+            self._gen_times.append(timestamp)
+            self._consume_times.append(consume)
+        # Occupancy at generation; inline consumed_count's no-advance
+        # early exit (the common case — consumption is mid-interval).
+        nxt = self._next_consume
+        if nxt is None or nxt > timestamp:
+            occupancy = self._delivered - self._consumed
+        else:
+            occupancy = self._delivered - self.consumed_count(timestamp)
+        count = self._occ_hist.get(occupancy)
+        self._occ_hist[occupancy] = 1 if count is None else count + 1
+        if occupancy > self._occ_max:
+            self._occ_max = occupancy
+        if self._trace:
+            self._occupancy_at_gen.append(occupancy)
 
     # --- queries ---------------------------------------------------------
     def consumed_count(self, now: float) -> int:
         """Number of tokens consumed by time ``now``.
 
         Queries must come with non-decreasing ``now`` (true for a
-        simulation); this keeps the scan amortised O(1).
+        simulation); the cursor never moves backwards.
         """
-        while (
-            self._consumed_ptr < len(self._consume_times)
-            and self._consume_times[self._consumed_ptr] <= now
-        ):
-            self._consumed_ptr += 1
-        return self._consumed_ptr
+        nxt = self._next_consume
+        if nxt is None or nxt > now:
+            return self._consumed
+        consumed = self._consumed
+        delivered = self._delivered
+        interval = self._cursor_interval
+        segments = self._segments
+        while nxt is not None and nxt <= now:
+            consumed += 1
+            if segments and segments[0][0] == consumed:
+                _, nxt, interval = segments.popleft()
+            elif consumed < delivered:
+                # Same arithmetic (and float rounding) as deliver():
+                # one repeated addition per token within a segment.
+                nxt = nxt + interval
+            else:
+                nxt = None
+        self._consumed = consumed
+        self._next_consume = nxt
+        self._cursor_interval = interval
+        return consumed
 
     def occupancy(self, now: float) -> int:
         """Tokens delivered but not yet consumed at ``now`` (b_rem)."""
@@ -99,7 +190,7 @@ class ClientBuffer:
         This is the slack a scheduler has before preempting this
         request would cause a stall.  Returns 0 for an empty buffer.
         """
-        return self.occupancy(now) * self._interval
+        return self.occupancy(now) * self.interval
 
     @property
     def delivered(self) -> int:
@@ -112,20 +203,47 @@ class ClientBuffer:
         return self._stall_time
 
     @property
+    def occupancy_histogram(self) -> dict:
+        """``{B -> count}`` over all delivered tokens (treat read-only).
+
+        ``B`` is the buffered-token count at a token's generation
+        instant — the compact aggregate behind Eq. 1 and the §7.1.3
+        effective-throughput weights.
+        """
+        return self._occ_hist
+
+    @property
+    def max_occupancy(self) -> int:
+        """Largest buffer occupancy observed at any generation instant."""
+        return self._occ_max
+
+    def _require_trace(self) -> None:
+        if not self._trace:
+            raise RuntimeError(
+                "per-token traces are disabled for this buffer "
+                "(construct ClientBuffer(..., record_trace=True))"
+            )
+
+    @property
     def generation_times(self) -> list:
-        return list(self._gen_times)
+        """Per-token delivery timestamps (single materialisation —
+        callers must treat the returned list as read-only)."""
+        self._require_trace()
+        return self._gen_times
 
     @property
     def consumption_times(self) -> list:
-        return list(self._consume_times)
+        """Per-token consumption timestamps (read-only view)."""
+        self._require_trace()
+        return self._consume_times
 
     @property
     def occupancy_at_generation(self) -> list:
-        """B_{i,j}: buffered tokens at each token's generation instant."""
-        return list(self._occupancy_at_gen)
+        """B_{i,j}: buffered tokens at each token's generation instant
+        (read-only view)."""
+        self._require_trace()
+        return self._occupancy_at_gen
 
     def final_consumption_time(self) -> Optional[float]:
         """When the user finishes the stream (None if nothing delivered)."""
-        if not self._consume_times:
-            return None
-        return self._consume_times[-1]
+        return self._last_consume

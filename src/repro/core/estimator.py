@@ -34,6 +34,19 @@ class SlidingWindowMean:
         self._values.append(value)
         self._sum += value
 
+    def observe_many(self, values) -> None:
+        """Observe each element in order (bulk form of :meth:`observe`
+        — identical arithmetic, one call instead of one per sample)."""
+        window = self._window
+        deque_values = self._values
+        total = self._sum
+        for value in values:
+            if len(deque_values) == window:
+                total -= deque_values[0]
+            deque_values.append(value)
+            total += value
+        self._sum = total
+
     def mean(self) -> Optional[float]:
         if not self._values:
             return self._initial

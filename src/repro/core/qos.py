@@ -20,7 +20,7 @@ moment token *j* of request *i* was generated — which
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Mapping, Optional, Sequence
 
 
 @dataclass(frozen=True)
@@ -97,6 +97,24 @@ def effective_token_count(
     )
 
 
+def effective_token_count_hist(
+    occupancy_hist: Mapping,
+    output_len: int,
+    tau1_frac: float = 0.10,
+    tau2_frac: float = 0.20,
+) -> float:
+    """:func:`effective_token_count` from a ``{B -> count}`` histogram.
+
+    Occupancies are small integers, so grouping by value evaluates the
+    weight once per distinct B instead of once per token — the compact
+    aggregate :class:`repro.client.buffer.ClientBuffer` maintains.
+    """
+    return sum(
+        count * effective_token_weight(b, output_len, tau1_frac, tau2_frac)
+        for b, count in occupancy_hist.items()
+    )
+
+
 def request_qos_terms(
     occupancies: Sequence,
     output_len: int,
@@ -107,6 +125,23 @@ def request_qos_terms(
     """Inner bracket of Eq. (2) for one request."""
     tau = params.resolve_tau(output_len)
     utility_sum = sum(token_utility(b, tau, params.alpha) for b in occupancies)
+    return utility_sum - params.lam * ttft - params.mu * rebuffer
+
+
+def request_qos_terms_hist(
+    occupancy_hist: Mapping,
+    output_len: int,
+    ttft: float,
+    rebuffer: float,
+    params: QoSParams,
+) -> float:
+    """:func:`request_qos_terms` from a ``{B -> count}`` histogram."""
+    tau = params.resolve_tau(output_len)
+    alpha = params.alpha
+    utility_sum = sum(
+        count * token_utility(b, tau, alpha)
+        for b, count in occupancy_hist.items()
+    )
     return utility_sum - params.lam * ttft - params.mu * rebuffer
 
 

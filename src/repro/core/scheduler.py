@@ -24,7 +24,9 @@ Each tick (Δt, the paper's reschedule interval):
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
+from itertools import chain
 from typing import Optional
 
 from repro.core.balancer import BufferBalancer, Candidate
@@ -137,21 +139,25 @@ class TokenFlowScheduler(BaseScheduler):
         free = view.kv.gpu_free_blocks()
         # Opportunistic resume: fill idle decode slots from the
         # preempted pool (the balancer evicted them under pressure; if
-        # the pressure is gone they should run again).
+        # the pressure is gone they should run again).  At most `slots`
+        # resumes can land, so rank only that many (nsmallest is stable
+        # and equivalent to sorted(...)[:slots]); with no free slot the
+        # ranking is skipped entirely — the common case under load.
         active = len(view.running) + len(view.loading) + len(view.prefill_queue)
-        starved_first = sorted(
-            view.preempted,
-            key=lambda r: view.tracker.buffer_seconds(r.req_id, view.now),
-        )
-        for request in starved_first:
-            if active >= view.max_batch:
-                break
-            needed = view.kv.blocks_for_tokens(request.context_len)
-            if needed + watermark > free:
-                break
-            self._route_resume(view, request, decision)
-            free -= needed
-            active += 1
+        slots = view.max_batch - active
+        if slots > 0 and view.preempted:
+            buffers = view.buffer_state()
+            starved_first = heapq.nsmallest(
+                slots,
+                view.preempted,
+                key=lambda r: buffers.buffer_seconds(r.req_id),
+            )
+            for request in starved_first:
+                needed = view.kv.blocks_for_tokens(request.context_len)
+                if needed + watermark > free:
+                    break
+                self._route_resume(view, request, decision)
+                free -= needed
         for request in view.waiting:
             if ws_size >= max(w_limit, 1):
                 break
@@ -205,8 +211,9 @@ class TokenFlowScheduler(BaseScheduler):
         # §3.3): a preempted request that will cross T_critical before
         # the next pass counts as critical now.
         threshold = self.params.critical_buffer_s + self.params.tick_interval
+        buffers = view.buffer_state()
         for request in view.preempted:
-            if view.tracker.buffer_seconds(request.req_id, view.now) < threshold:
+            if buffers.buffer_seconds(request.req_id) < threshold:
                 return True
         return False
 
@@ -218,7 +225,12 @@ class TokenFlowScheduler(BaseScheduler):
 
     def _is_schedulable(self, view: SystemView) -> bool:
         """§4.3: Σ r_i over the working set must not exceed Γ."""
-        demand = sum(r.rate for r in self._working_set_members(view))
+        demand = sum(
+            r.rate
+            for r in chain(
+                view.prefill_queue, view.running, view.loading, view.preempted
+            )
+        )
         return demand <= view.executor.capacity_estimate()
 
     def _fcfs_fallback(self, view: SystemView) -> SchedulerDecision:
@@ -244,9 +256,7 @@ class TokenFlowScheduler(BaseScheduler):
 
     # --- step 1: working-set determination ---------------------------------------------
     def _observe_contexts(self, view: SystemView, policy: WorkingSetPolicy) -> None:
-        for request in view.running:
-            if request.context_len > 0:
-                policy.observe_footprint(request.context_len)
+        policy.observe_footprints(view.running)
 
     def _swap_taus(self) -> tuple:
         return self._tau_evict, self._tau_load
@@ -278,8 +288,9 @@ class TokenFlowScheduler(BaseScheduler):
         tau_evict: float,
         tau_load: float,
     ) -> bool:
+        buffers = view.buffer_state()
         for request in view.running:
-            buffered = view.tracker.occupancy(request.req_id, view.now)
+            buffered = buffers.occupancy(request.req_id)
             if policy.is_preemption_safe(buffered, request.rate, tau_evict, tau_load):
                 return True
         return False
@@ -290,12 +301,16 @@ class TokenFlowScheduler(BaseScheduler):
     ) -> None:
         tau_evict, tau_load = self._swap_taus()
         candidates = []
-        t_eff_base = self.params.tick_interval
+        # Candidate construction doubles as the working-set id map —
+        # balance() only ever names running/preempted members, so no
+        # separate membership concatenation is needed.
+        by_id = {}
         for request in view.running:
             candidates.append(
                 self._candidate(view, request, resident=True, t_overhead=0.0,
                                 policy=policy, tau_evict=tau_evict, tau_load=tau_load)
             )
+            by_id[request.req_id] = request
         for request in view.preempted:
             t_io = view.kv.estimate_io_time(request.context_len, 0, view.now)
             t_rec = self.prefill_cost.estimate_recompute(request.context_len)
@@ -304,16 +319,16 @@ class TokenFlowScheduler(BaseScheduler):
                 self._candidate(view, request, resident=False, t_overhead=t_overhead,
                                 policy=policy, tau_evict=tau_evict, tau_load=tau_load)
             )
+            by_id[request.req_id] = request
         if not candidates:
             return
         # Reserve headroom for admitted prefills plus decode growth.
         reserve = int(view.kv.gpu_pool.capacity * self.params.admission_watermark_frac)
-        for request in list(view.prefill_queue) + decision.admit:
+        for request in chain(view.prefill_queue, decision.admit):
             reserve += view.kv.blocks_for_tokens(request.prompt_len)
         budget = max(0, view.kv.gpu_pool.capacity - reserve)
         result = self._balancer.balance(candidates, budget, view.max_batch)
 
-        by_id = {r.req_id: r for r in self._working_set_members(view)}
         preempts = [by_id[rid] for rid in result.to_preempt][: self.params.max_preempts_per_tick]
         decision.preempt.extend(preempts)
 
@@ -324,11 +339,14 @@ class TokenFlowScheduler(BaseScheduler):
         freed = sum(view.kv.gpu_pool.used_by(r.req_id) for r in preempts)
         resumes = [by_id[rid] for rid in result.to_resume]
         # Resumes must not balloon the resident set past the decode
-        # batch: only refill the slots this tick actually frees.
+        # batch: only refill the slots this tick actually frees.  The
+        # most-starved-first order established here is the invariant
+        # _assign_resume_modes relies on — it must not re-sort.
         resident_after = len(view.running) + len(view.loading) - len(preempts)
         slots = max(0, view.max_batch - resident_after)
+        buffers = view.buffer_state()
         resumes = sorted(
-            resumes, key=lambda r: view.tracker.buffer_seconds(r.req_id, view.now)
+            resumes, key=lambda r: buffers.buffer_seconds(r.req_id)
         )[:slots]
         self._assign_resume_modes(view, resumes, decision, extra_free_blocks=freed)
 
@@ -342,8 +360,9 @@ class TokenFlowScheduler(BaseScheduler):
         tau_evict: float,
         tau_load: float,
     ) -> Candidate:
-        occupancy = view.tracker.occupancy(request.req_id, view.now)
-        buffer_s = view.tracker.buffer_seconds(request.req_id, view.now)
+        buffers = view.buffer_state()
+        occupancy = buffers.occupancy(request.req_id)
+        buffer_s = buffers.buffer_seconds(request.req_id)
         t_eff = max(0.0, self.params.tick_interval - t_overhead)
         priority = request_priority(
             buffer_occupancy=occupancy,
@@ -375,13 +394,14 @@ class TokenFlowScheduler(BaseScheduler):
 
         ``extra_free_blocks`` credits memory that this decision's
         preemptions will have freed by the time loads execute.
+
+        Precondition: ``resumes`` is already ordered most-starved
+        first (smallest buffer_seconds first) — the caller sorts once
+        when trimming to the free slots, so re-sorting here would be
+        pure duplicate work.
         """
         loads_left = self.params.max_loads_per_tick
         block_budget = view.kv.gpu_free_blocks() + extra_free_blocks
-        # Most-starved first: their resume latency matters most.
-        resumes = sorted(
-            resumes, key=lambda r: view.tracker.buffer_seconds(r.req_id, view.now)
-        )
         for request in resumes:
             record = view.kv.record(request.req_id)
             needed = view.kv.blocks_for_tokens(max(1, record.cpu_tokens))
@@ -407,9 +427,10 @@ class TokenFlowScheduler(BaseScheduler):
     # --- reactive OOM path ------------------------------------------------------------
     def select_oom_victims(self, view: SystemView, blocks_needed: int) -> list:
         """Evict the requests with the fattest buffers first (§4.1)."""
+        buffers = view.buffer_state()
         ranked = sorted(
             view.running,
-            key=lambda r: view.tracker.buffer_seconds(r.req_id, view.now),
+            key=lambda r: buffers.buffer_seconds(r.req_id),
             reverse=True,
         )
         victims: list = []

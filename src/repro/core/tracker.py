@@ -4,12 +4,19 @@ Monitors each request's runtime status: buffer token counts, required
 consumption rate, per-token generation timestamps, preemption history,
 and resource usage.  Both the scheduler (buffer occupancy, drain
 deadlines) and the metrics pipeline (QoS inputs) read from here.
+
+The serving loop and the scheduler query the same (request, now)
+pairs many times per iteration — the tracker therefore memoises
+occupancy per simulation timestamp, so each request's buffer state is
+computed at most once per instant no matter how many consumers ask.
+:meth:`snapshot` exposes that shared memo as a bulk view both the
+server and the scheduler can pass around.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
 from repro.client.buffer import ClientBuffer
 from repro.workload.request import Request, RequestState
@@ -23,18 +30,55 @@ class TrackedRequest:
     buffer: ClientBuffer
 
 
+class TrackerSnapshot:
+    """Bulk buffer-state view at one instant, backed by the tracker memo.
+
+    All consumers of the same snapshot (server planning, scheduler
+    candidates, write priorities) share one occupancy computation per
+    request; the memo is invalidated automatically when a token is
+    delivered at the same instant.
+    """
+
+    __slots__ = ("_tracker", "now")
+
+    def __init__(self, tracker: "RequestTracker", now: float) -> None:
+        self._tracker = tracker
+        self.now = now
+
+    def occupancy(self, req_id: int) -> int:
+        return self._tracker.occupancy(req_id, self.now)
+
+    def buffer_seconds(self, req_id: int) -> float:
+        return self._tracker.buffer_seconds(req_id, self.now)
+
+    def min_buffer_seconds(self, requests: Sequence) -> float:
+        """Smallest buffer (seconds) across ``requests`` (non-empty)."""
+        return self._tracker.min_buffer_seconds(requests, self.now)
+
+
 class RequestTracker:
     """Registry of all requests seen by the serving system."""
 
-    def __init__(self) -> None:
+    def __init__(self, record_traces: bool = True) -> None:
         self._entries: dict[int, TrackedRequest] = {}
         self._finished_order: list = []
+        self._record_traces = record_traces
+        # Per-instant memo: {req_id -> (occupancy, buffer)} valid for
+        # queries at `_memo_now`.  Caching the buffer alongside keeps
+        # hits to plain dict/attribute access (the interval is read
+        # live off the buffer, so mid-stream rate changes are seen
+        # immediately even on a hit).
+        self._memo_now: Optional[float] = None
+        self._memo_occ: dict = {}
 
     # --- registration ------------------------------------------------------
     def register(self, request: Request) -> TrackedRequest:
         if request.req_id in self._entries:
             raise ValueError(f"request {request.req_id} already tracked")
-        entry = TrackedRequest(request=request, buffer=ClientBuffer(rate=request.rate))
+        entry = TrackedRequest(
+            request=request,
+            buffer=ClientBuffer(rate=request.rate, record_trace=self._record_traces),
+        )
         self._entries[request.req_id] = entry
         return entry
 
@@ -49,12 +93,42 @@ class RequestTracker:
     def __len__(self) -> int:
         return len(self._entries)
 
+    @property
+    def entries_by_id(self) -> dict:
+        """Live ``{req_id -> TrackedRequest}`` map (treat read-only).
+
+        Exposed for the serving loop's token-emission hot path, which
+        pairs each delivery with :meth:`invalidate_occupancy`.
+        """
+        return self._entries
+
+    def invalidate_occupancy(self, req_id: int) -> None:
+        """Drop the memoised occupancy for one request.
+
+        Must be called whenever a buffer is mutated out-of-band (e.g.
+        a token delivered directly through the entry) at the memoised
+        instant; :meth:`deliver_token` does this automatically.
+        """
+        self._memo_occ.pop(req_id, None)
+
+    @property
+    def occupancy_invalidator(self):
+        """Bound ``dict.pop`` implementing :meth:`invalidate_occupancy`
+        without a wrapper call — invoke as ``invalidator(req_id, None)``.
+        (The memo dict is cleared in place, never rebound, so the bound
+        method stays valid for the tracker's lifetime.)"""
+        return self._memo_occ.pop
+
     # --- event hooks --------------------------------------------------------
     def deliver_token(self, req_id: int, timestamp: float) -> None:
         """Record one generated token flowing into the client buffer."""
-        entry = self.get(req_id)
+        entry = self._entries.get(req_id)
+        if entry is None:
+            raise KeyError(f"request {req_id} is not tracked")
         entry.request.record_token(timestamp)
         entry.buffer.deliver(timestamp)
+        # The buffer's occupancy at this very instant changed.
+        self._memo_occ.pop(req_id, None)
 
     def mark_finished(self, req_id: int, timestamp: float) -> None:
         entry = self.get(req_id)
@@ -62,20 +136,75 @@ class RequestTracker:
         self._finished_order.append(req_id)
 
     # --- scheduler queries -----------------------------------------------------
+    def _memo_entry(self, req_id: int, now: float) -> tuple:
+        """(occupancy, buffer) at ``now``, computed at most once per
+        (request, now) — repeated queries at the same instant hit the
+        memo."""
+        if now != self._memo_now:
+            self._memo_now = now
+            self._memo_occ.clear()
+            cached = None
+        else:
+            cached = self._memo_occ.get(req_id)
+        if cached is None:
+            buffer = self.get(req_id).buffer
+            cached = (buffer.occupancy(now), buffer)
+            self._memo_occ[req_id] = cached
+        return cached
+
     def occupancy(self, req_id: int, now: float) -> int:
         """b_rem: unread tokens currently buffered for this request."""
-        return self.get(req_id).buffer.occupancy(now)
+        return self._memo_entry(req_id, now)[0]
 
     def drain_deadline(self, req_id: int, now: float) -> float:
-        """Seconds until this request's buffer runs dry at rate r."""
-        return self.get(req_id).buffer.drain_deadline(now)
+        """Seconds until this request's buffer runs dry at rate r.
+
+        Derived from the memoised occupancy and the buffer's *current*
+        interval, so a mid-stream :meth:`ClientBuffer.set_rate` is
+        reflected immediately even on a memo hit.
+        """
+        occ, buffer = self._memo_entry(req_id, now)
+        return occ * buffer.interval
 
     def rate(self, req_id: int) -> float:
         return self.get(req_id).request.rate
 
     def buffer_seconds(self, req_id: int, now: float) -> float:
         """Buffer occupancy measured in seconds of consumption."""
-        return self.drain_deadline(req_id, now)
+        occ, buffer = self._memo_entry(req_id, now)
+        return occ * buffer.interval
+
+    def min_buffer_seconds(self, requests: Sequence, now: float) -> float:
+        """Smallest ``buffer_seconds`` across ``requests`` (non-empty).
+
+        One flat pass over the shared memo — the bulk query behind the
+        serving loop's per-iteration min-buffer index.
+        """
+        if now != self._memo_now:
+            self._memo_now = now
+            self._memo_occ.clear()
+        memo = self._memo_occ
+        memo_get = memo.get
+        entries = self._entries
+        smallest: Optional[float] = None
+        for request in requests:
+            req_id = request.req_id
+            cached = memo_get(req_id)
+            if cached is None:
+                buffer = entries[req_id].buffer
+                cached = (buffer.occupancy(now), buffer)
+                memo[req_id] = cached
+            occ, buffer = cached
+            seconds = occ * buffer.interval
+            if smallest is None or seconds < smallest:
+                smallest = seconds
+        if smallest is None:
+            raise ValueError("min_buffer_seconds needs a non-empty request set")
+        return smallest
+
+    def snapshot(self, now: float) -> TrackerSnapshot:
+        """Bulk buffer-state view at ``now`` sharing the per-instant memo."""
+        return TrackerSnapshot(self, now)
 
     # --- metric queries --------------------------------------------------------
     def entries(self) -> Iterable[TrackedRequest]:

@@ -87,6 +87,19 @@ class WorkingSetPolicy:
             raise ValueError("context_tokens must be positive")
         self._beta.observe(float(context_tokens))
 
+    def observe_footprints(self, requests) -> None:
+        """Bulk β update from a batch of requests' context lengths.
+
+        Equivalent to calling :meth:`observe_footprint` for each
+        request with a positive context, in order — the scheduler runs
+        this once per iteration over the whole decode batch.  (Request
+        validates ``prompt_len > 0``, so every context is positive and
+        no filter is needed.)
+        """
+        self._beta.observe_many(
+            [float(r.prompt_len + r.generated) for r in requests]
+        )
+
     def beta(self) -> float:
         mean = self._beta.mean()
         assert mean is not None

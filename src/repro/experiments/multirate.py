@@ -55,8 +55,10 @@ def run_multirate(
         rates=RateMixture(rates=tuple(rates), weights=tuple(weights)),
     )
     requests = WorkloadBuilder(spec, RngStreams(seed)).build()
+    # Per-token consumption timestamps feed the achieved-rate stats.
     instance = build_system(
-        system, hardware=hardware, model=model, mem_frac=mem_frac, max_batch=max_batch
+        system, hardware=hardware, model=model, mem_frac=mem_frac,
+        max_batch=max_batch, record_token_traces=True,
     )
     run_single(instance, requests)
 

@@ -75,8 +75,14 @@ def build_system(
     max_batch: int = 64,
     block_size: int = 16,
     tokenflow_params: Optional[TokenFlowParams] = None,
+    record_token_traces: bool = False,
 ) -> ServingSystem:
-    """Assemble one serving instance for a named system."""
+    """Assemble one serving instance for a named system.
+
+    ``record_token_traces`` opts into per-token timestamp traces
+    (needed by occupancy-series plots and JSONL trace export; the
+    RunReport metrics do not need them).
+    """
     scheduler = make_scheduler(name, tokenflow_params)
     config = ServingConfig(
         hardware=hardware,
@@ -85,6 +91,7 @@ def build_system(
         max_batch=max_batch,
         block_size=block_size,
         kv=make_kv_config(name, block_size),
+        record_token_traces=record_token_traces,
     )
     system = ServingSystem(config, scheduler)
     # Label the report with the experiment's system name (the ablation

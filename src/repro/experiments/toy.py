@@ -86,6 +86,8 @@ def run_toy_example(
         mem_frac=0.02,
         max_batch=2,
         block_size=16,
+        # occupancy_series() reconstructs B(t) from the full traces.
+        record_token_traces=True,
     )
     params = TokenFlowParams(
         tick_interval=0.25,

@@ -57,10 +57,13 @@ class LatencyModel:
         lengths = list(context_lengths)
         if not lengths:
             return 0.0
-        if any(length < 0 for length in lengths):
-            raise ValueError("context lengths must be non-negative")
+        total = 0
+        for length in lengths:
+            if length < 0:
+                raise ValueError("context lengths must be non-negative")
+            total += length
         batch = len(lengths)
-        kv_bytes = self.model.kv_bytes_per_token * float(sum(lengths))
+        kv_bytes = self.model.kv_bytes_per_token * float(total)
         mem_time = (self.model.weight_bytes + kv_bytes) / self.hardware.effective_mem_bandwidth
         compute_time = self.model.flops_per_token * batch / self.hardware.effective_flops
         return max(mem_time, compute_time) + self.hardware.iteration_overhead_s

@@ -27,6 +27,10 @@ class BlockPool:
         self.block_size = block_size
         self._used = 0
         self._owners: dict[int, int] = {}
+        # Read-only alias of the per-owner map for hot-path queries
+        # (`pool.usage.get(owner, 0)` == `pool.used_by(owner)` without
+        # the method call); the dict object is never rebound.
+        self.usage = self._owners
 
     # --- size helpers -----------------------------------------------------
     def blocks_for_tokens(self, n_tokens: int) -> int:

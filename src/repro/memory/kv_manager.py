@@ -21,6 +21,12 @@ ablation:
 The manager is deliberately engine-aware: deferred block frees (the
 dirty tail's blocks are only reusable once its transfer completes) are
 scheduled as simulation events.
+
+Hot-path bookkeeping is incremental: a persistent *dirty set* (ordered
+by registration for deterministic tie-breaks) replaces the per-
+iteration scan over every record, and decode-token growth tracks block
+boundaries arithmetically instead of re-deriving block counts through
+the pool on every generated token.
 """
 
 from __future__ import annotations
@@ -64,6 +70,8 @@ class KVRecord:
     ``gpu_tokens`` is the decode-usable context on the GPU;
     ``cpu_tokens`` the replicated prefix on the host.  The dirty tail
     is ``gpu_tokens - cpu_tokens`` (never negative while resident).
+    ``seq`` is the registration order — the deterministic tie-break
+    for priority-ordered drains.
     """
 
     req_id: int
@@ -71,6 +79,7 @@ class KVRecord:
     cpu_tokens: int = 0
     resident: bool = False        # True while the request can decode
     pending_free_blocks: int = 0  # blocks awaiting transfer completion
+    seq: int = 0
 
     @property
     def dirty_tokens(self) -> int:
@@ -94,7 +103,14 @@ class HierarchicalKVManager:
         self.cpu_pool = BlockPool(self.config.cpu_capacity_blocks, self.config.block_size)
         self.link = PCIeLink(pcie_bandwidth_bytes_per_s)
         self.kv_bytes_per_token = float(kv_bytes_per_token)
+        self._block_size = self.config.block_size
         self._records: dict[int, KVRecord] = {}
+        self._next_seq = 0
+        # Resident records with a non-empty dirty tail (req_id -> record),
+        # maintained incrementally so the chunked writer never scans the
+        # full registry.  Ordering inside is irrelevant — drains sort by
+        # (priority desc, registration seq asc).
+        self._dirty: dict[int, KVRecord] = {}
         # Optional callback fired whenever deferred frees return blocks
         # to the pool (the serving loop uses it to retry stalled work).
         self.on_memory_freed: Optional[Callable[[], None]] = None
@@ -118,7 +134,9 @@ class HierarchicalKVManager:
         return n_tokens * self.kv_bytes_per_token
 
     def blocks_for_tokens(self, n_tokens: int) -> int:
-        return self.gpu_pool.blocks_for_tokens(n_tokens)
+        if n_tokens < 0:
+            raise ValueError(f"n_tokens must be non-negative, got {n_tokens}")
+        return -(-n_tokens // self._block_size)  # ceil division
 
     def gpu_free_blocks(self) -> int:
         return self.gpu_pool.free
@@ -126,12 +144,20 @@ class HierarchicalKVManager:
     def can_allocate_tokens(self, n_tokens: int) -> bool:
         return self.gpu_pool.can_allocate(self.blocks_for_tokens(n_tokens))
 
+    def _sync_dirty(self, record: KVRecord) -> None:
+        """Re-derive the record's dirty-set membership after a mutation."""
+        if record.resident and record.gpu_tokens > record.cpu_tokens:
+            self._dirty[record.req_id] = record
+        else:
+            self._dirty.pop(record.req_id, None)
+
     # --- request lifecycle -----------------------------------------------------
     def register(self, req_id: int) -> KVRecord:
         """Create the placement record for a new request."""
         if req_id in self._records:
             raise ValueError(f"request {req_id} already registered")
-        record = KVRecord(req_id=req_id)
+        record = KVRecord(req_id=req_id, seq=self._next_seq)
+        self._next_seq += 1
         self._records[req_id] = record
         return record
 
@@ -158,29 +184,55 @@ class HierarchicalKVManager:
         # A recompute resume regenerates KV the host already holds; the
         # host copy stays valid, so only the excess is dirty.
         record.cpu_tokens = min(record.cpu_tokens, context_tokens)
+        self._sync_dirty(record)
 
     def on_decode_token(self, req_id: int) -> None:
         """Grow the resident context by one generated token.
 
-        Allocates a new block when the context crosses a block
-        boundary; raises :class:`OutOfMemory` when the pool is full
+        Allocates a new block only when the context crosses a block
+        boundary (tracked arithmetically — no per-token block-count
+        derivation); raises :class:`OutOfMemory` when the pool is full
         (the server then triggers reactive preemption).
         """
-        record = self.record(req_id)
+        record = self._records.get(req_id)
+        if record is None:
+            raise KeyError(f"request {req_id} is not registered with the KV manager")
         if not record.resident:
             raise RuntimeError(f"request {req_id} is not resident; cannot decode")
-        new_tokens = record.gpu_tokens + 1
-        needed = self.blocks_for_tokens(new_tokens)
-        held = self.gpu_pool.used_by(req_id) - record.pending_free_blocks
-        if needed > held:
-            self.gpu_pool.allocate(req_id, needed - held)
-        record.gpu_tokens = new_tokens
+        tokens = record.gpu_tokens
+        if tokens % self._block_size == 0:
+            # The next token opens a new block.
+            needed = tokens // self._block_size + 1
+            held = self.gpu_pool.usage.get(req_id, 0) - record.pending_free_blocks
+            if needed > held:
+                self.gpu_pool.allocate(req_id, needed - held)
+        if record.cpu_tokens == tokens:
+            # Was fully synced; the new token starts a dirty tail.
+            self._dirty[req_id] = record
+        record.gpu_tokens = tokens + 1
+
+    def decode_growth_blocks(self, req_id: int) -> int:
+        """GPU blocks the next decode token of ``req_id`` would claim.
+
+        Pure query (no allocation) — the serving loop's batch-fitting
+        input, flattened to plain arithmetic over the record state.
+        """
+        record = self._records.get(req_id)
+        if record is None:
+            raise KeyError(f"request {req_id} is not registered with the KV manager")
+        held = self.gpu_pool.usage.get(req_id, 0) - record.pending_free_blocks
+        needed = -(-(record.gpu_tokens + 1) // self._block_size)
+        if held <= 0:
+            return needed
+        growth = needed - held
+        return growth if growth > 0 else 0
 
     def release(self, req_id: int) -> None:
         """Drop all state for a finished (or aborted) request."""
         record = self._records.pop(req_id, None)
         if record is None:
             return
+        self._dirty.pop(req_id, None)
         self.gpu_pool.release_all(req_id)
         self.cpu_pool.release_all(req_id)
 
@@ -189,7 +241,10 @@ class HierarchicalKVManager:
         """Dirty tokens across resident requests (write queue depth)."""
         if not self.config.write_through:
             return 0
-        return sum(r.dirty_tokens for r in self._records.values() if r.resident)
+        return sum(
+            record.gpu_tokens - record.cpu_tokens
+            for record in self._dirty.values()
+        )
 
     def write_backlog_bytes(self) -> float:
         return self._tokens_to_bytes(self.write_backlog_tokens())
@@ -204,11 +259,14 @@ class HierarchicalKVManager:
 
         Writes as many dirty tokens as fit in the d2h direction's idle
         time within ``[now, horizon]`` (the estimated duration of the
-        next compute iteration), highest ``priority(req_id)`` first.
+        next compute iteration), highest ``priority(req_id)`` first
+        (ties broken by registration order).
 
         Returns the number of tokens synced.
         """
         if not self.config.write_through or not self.config.enable_offload:
+            return 0
+        if not self._dirty:
             return 0
         if not self.config.load_evict_overlap:
             # Serialised transfers: writes may not overlap in-flight
@@ -217,27 +275,89 @@ class HierarchicalKVManager:
         budget_bytes = self.link.d2h.idle_bytes_within(now, horizon)
         if budget_bytes <= 0:
             return 0
-        dirty = [r for r in self._records.values() if r.resident and r.dirty_tokens > 0]
-        if not dirty:
-            return 0
-        if priority is not None:
-            dirty.sort(key=lambda r: priority(r.req_id), reverse=True)
-        synced_total = 0
-        for record in dirty:
-            if budget_bytes < self.kv_bytes_per_token:
+        # Steady-state fast path: when every dirty tail is the same
+        # size (the common case — one fresh token per resident request
+        # per decode step) and the budget plus host pool cover the
+        # whole backlog, every record fully syncs the same number of
+        # tokens no matter the order.  All per-record transfers are
+        # then identical, so every float accumulation (link busy time,
+        # budget, stats) is bit-identical to the priority-ordered loop
+        # — the ranking would be pure overhead.
+        uniform = -1
+        for record in self._dirty.values():
+            tail = record.gpu_tokens - record.cpu_tokens
+            if uniform < 0:
+                uniform = tail
+            elif tail != uniform:
+                uniform = -1
                 break
-            affordable = int(budget_bytes // self.kv_bytes_per_token)
-            n_sync = min(record.dirty_tokens, affordable)
+        if uniform > 0:
+            n_dirty = len(self._dirty)
+            kv_bytes_per_token = self.kv_bytes_per_token
+            nbytes = uniform * kv_bytes_per_token
+            # Worst-case host growth: every record opens one new block
+            # plus whatever the tail itself spans.
+            block_bound = n_dirty * (uniform // self._block_size + 1)
+            if (
+                budget_bytes >= n_dirty * nbytes
+                and self.cpu_pool.free >= block_bound
+            ):
+                d2h = self.link.d2h
+                cpu_pool = self.cpu_pool
+                block_size = self._block_size
+                stats = self.stats
+                cpu_usage = cpu_pool.usage
+                for record in list(self._dirty.values()):
+                    target = record.cpu_tokens + uniform
+                    if -(-target // block_size) > cpu_usage.get(record.req_id, 0):
+                        self._grow_cpu_copy(record, target)
+                    d2h.occupy(nbytes, now)
+                    record.cpu_tokens = target
+                    self._dirty.pop(record.req_id, None)
+                    budget_bytes -= nbytes
+                    stats["write_through_bytes"] += nbytes
+                return n_dirty * uniform
+        if priority is not None:
+            # Highest priority first; registration order breaks ties —
+            # exactly the order a stable descending sort over the
+            # registration-ordered registry would produce.
+            dirty = sorted(
+                self._dirty.values(),
+                key=lambda r: (-priority(r.req_id), r.seq),
+            )
+        else:
+            dirty = sorted(self._dirty.values(), key=lambda r: r.seq)
+        synced_total = 0
+        kv_bytes_per_token = self.kv_bytes_per_token
+        d2h = self.link.d2h
+        cpu_pool = self.cpu_pool
+        block_size = self._block_size
+        stats = self.stats
+        dirty_set = self._dirty
+        for record in dirty:
+            if budget_bytes < kv_bytes_per_token:
+                break
+            affordable = int(budget_bytes // kv_bytes_per_token)
+            cpu_tokens = record.cpu_tokens
+            n_sync = record.gpu_tokens - cpu_tokens
+            if n_sync > affordable:
+                n_sync = affordable
             if n_sync <= 0:
                 continue
-            if not self._grow_cpu_copy(record, record.cpu_tokens + n_sync):
-                continue  # host pool exhausted; skip this request
-            nbytes = self._tokens_to_bytes(n_sync)
-            self.link.d2h.occupy(nbytes, now)
-            record.cpu_tokens += n_sync
+            target = cpu_tokens + n_sync
+            # Fast path: the host copy only grows a block every
+            # `block_size` tokens; skip the pool round-trip otherwise.
+            if -(-target // block_size) > cpu_pool.usage.get(record.req_id, 0):
+                if not self._grow_cpu_copy(record, target):
+                    continue  # host pool exhausted; skip this request
+            nbytes = n_sync * kv_bytes_per_token
+            d2h.occupy(nbytes, now)
+            record.cpu_tokens = target
+            if target >= record.gpu_tokens:
+                dirty_set.pop(record.req_id, None)
             budget_bytes -= nbytes
             synced_total += n_sync
-            self.stats["write_through_bytes"] += nbytes
+            stats["write_through_bytes"] += nbytes
         return synced_total
 
     def _grow_cpu_copy(self, record: KVRecord, target_tokens: int) -> bool:
@@ -265,6 +385,7 @@ class HierarchicalKVManager:
         if not record.resident:
             raise RuntimeError(f"request {req_id} is not resident; cannot preempt")
         record.resident = False
+        self._dirty.pop(req_id, None)
         if not self.config.enable_offload:
             self.gpu_pool.release_all(req_id)
             self.cpu_pool.release_all(req_id)
@@ -356,6 +477,7 @@ class HierarchicalKVManager:
         self.stats["load_bytes"] += nbytes
         record.gpu_tokens = record.cpu_tokens
         record.resident = True
+        self._sync_dirty(record)
         return job.end
 
     def prepare_recompute(self, req_id: int) -> None:
@@ -393,3 +515,12 @@ class HierarchicalKVManager:
             if record.resident:
                 held = self.gpu_pool.used_by(record.req_id)
                 assert held >= self.gpu_pool.blocks_for_tokens(record.gpu_tokens) - record.pending_free_blocks
+        # The dirty set is exactly {resident records with a dirty tail}.
+        expected_dirty = {
+            rid
+            for rid, record in self._records.items()
+            if record.resident and record.dirty_tokens > 0
+        }
+        assert set(self._dirty) == expected_dirty, (
+            f"dirty set {set(self._dirty)} != expected {expected_dirty}"
+        )

@@ -82,9 +82,20 @@ class PCIeDirection:
             return 0.0
         return (horizon - window_start) * self.bandwidth
 
-    def occupy(self, nbytes: float, now: float) -> TransferJob:
-        """Synonym for :meth:`submit` used by the chunked writer."""
-        return self.submit(nbytes, now)
+    def occupy(self, nbytes: float, now: float) -> None:
+        """Account a chunked-writer transfer without a reservation.
+
+        Same state mutations as :meth:`submit` (start at
+        ``max(now, busy_until)``, extend the busy horizon, count bytes
+        and busy time) but skips building a :class:`TransferJob` — the
+        chunked writer issues one of these per dirty record per
+        iteration and never needs the reservation back.
+        """
+        start = now if now >= self._busy_until else self._busy_until
+        duration = nbytes / self.bandwidth
+        self._busy_until = start + duration
+        self._bytes_moved += nbytes
+        self._busy_time += duration
 
 
 class PCIeLink:

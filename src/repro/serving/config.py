@@ -33,6 +33,18 @@ class ServingConfig:
         chunked_prefill: split prompts into chunks (SGLang-chunked).
         prefill_chunk_size: chunk size when chunking is active.
         kv: KV-manager behaviour switches (Table 2 ablations).
+        record_token_traces: keep per-token generation/consumption
+            timestamp lists on every client buffer.  Metrics and QoS
+            need only the compact occupancy aggregates, so this is off
+            by default (memory stays O(1) per request and the delivery
+            hot path skips three list appends per token) without
+            changing any :class:`~repro.serving.metrics.RunReport`
+            number; JSONL token-trace export and occupancy-series
+            plots need it on.
+        timeline_cap: sample-count bound for the (t, queued, running)
+            timeline; above it samples are decimated 2:1 and the
+            sampling stride doubles (long runs stop growing without
+            bound).
     """
 
     hardware: Union[str, HardwareSpec] = "h200"
@@ -44,6 +56,8 @@ class ServingConfig:
     chunked_prefill: bool = False
     prefill_chunk_size: int = 2048
     kv: KVManagerConfig = field(default_factory=KVManagerConfig)
+    record_token_traces: bool = False
+    timeline_cap: int = 65536
 
     def __post_init__(self) -> None:
         if isinstance(self.hardware, str):
@@ -60,6 +74,8 @@ class ServingConfig:
             raise ValueError("max_prefill_tokens must be positive")
         if self.prefill_chunk_size <= 0:
             raise ValueError("prefill_chunk_size must be positive")
+        if self.timeline_cap < 2:
+            raise ValueError("timeline_cap must be at least 2")
         # Keep the KV config's block size consistent with ours.
         if self.kv.block_size != self.block_size:
             object.__setattr__(self.kv, "block_size", self.block_size)

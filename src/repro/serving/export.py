@@ -75,6 +75,10 @@ def save_token_trace_jsonl(tracker: RequestTracker, path: Union[str, Path]) -> P
     Each record carries generation timestamps, consumption timestamps,
     and the buffer occupancy at each token's generation instant — the
     raw material behind Figs. 5/18 style plots.
+
+    Requires the run to have kept per-token traces: construct the
+    serving system with ``ServingConfig(record_token_traces=True)``
+    (off by default — the aggregate report does not need them).
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)

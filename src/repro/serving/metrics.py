@@ -12,7 +12,11 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.analysis.stats import summarize
-from repro.core.qos import QoSParams, effective_token_count, request_qos_terms
+from repro.core.qos import (
+    QoSParams,
+    effective_token_count_hist,
+    request_qos_terms_hist,
+)
 from repro.core.tracker import RequestTracker
 
 
@@ -99,15 +103,18 @@ def build_report(
     n_finished = 0
     for entry in tracker.entries():
         request, buffer = entry.request, entry.buffer
-        occupancies = buffer.occupancy_at_generation
-        effective = effective_token_count(occupancies, request.output_len)
+        # The compact occupancy histogram stands in for the per-token
+        # B_{i,j} list — it works whether or not the buffer keeps full
+        # traces, and evaluates each weight once per distinct value.
+        occ_hist = buffer.occupancy_histogram
+        effective = effective_token_count_hist(occ_hist, request.output_len)
         ttft = request.ttft
         # Agent clients (§8) have no real-time consumer: their
         # reference rate is a priority signal, so "stalls" against it
         # carry no experience penalty.
         rebuffer = 0.0 if request.is_agent else buffer.stall_time
-        qos_term = request_qos_terms(
-            occupancies,
+        qos_term = request_qos_terms_hist(
+            occ_hist,
             request.output_len,
             ttft if ttft is not None else makespan,
             rebuffer,

@@ -22,6 +22,7 @@ TokenFlow run on identical machinery.
 
 from __future__ import annotations
 
+import heapq
 from typing import Optional
 
 from repro.core.offload import RequestOffloadManager
@@ -73,7 +74,7 @@ class ServingSystem:
             config=config.kv,
         )
         self.kv.on_memory_freed = self._kick
-        self.tracker = RequestTracker()
+        self.tracker = RequestTracker(record_traces=config.record_token_traces)
 
         # Request queues (state-machine mirrors).
         self.waiting: list = []
@@ -105,7 +106,14 @@ class ServingSystem:
         self._tick_scheduled = False
         self._unfinished = 0
         self.timeline: list = []      # (t, queued, running) samples
+        # Timeline downsampling: once the sample list hits the cap it
+        # is decimated 2:1 and the sampling stride doubles, so long
+        # runs keep a bounded, evenly-thinned record.
+        self._timeline_stride = 1
+        self._timeline_pending = 0
         self._last_token_time = 0.0
+        # Per-iteration caches (reset at each iteration start).
+        self._iter_min_buffer: Optional[float] = None
         self._decodes_since_prefill = 0
         self._prefill_defer_cap = 16      # progress guarantee for prefill
         self._prefill_defer_margin = 0.05  # seconds of buffer slack required
@@ -176,6 +184,10 @@ class ServingSystem:
         self.offload.execute(boundary)
         overhead += self.scheduler.scheduling_cost_s()
 
+        # Planning below shares one buffer snapshot: the min-buffer
+        # pass and all tracker queries are computed at most once per
+        # iteration for this instant.
+        self._iter_min_buffer = None
         entries = self._plan_prefill()
         if entries and self._should_defer_prefill(entries):
             entries = []
@@ -190,6 +202,18 @@ class ServingSystem:
             return
         self._sample_timeline()
 
+    def _min_running_buffer(self) -> float:
+        """Smallest running-request buffer (seconds) at the current
+        instant, computed once per iteration and shared between the
+        prefill budget and the defer decision."""
+        cached = self._iter_min_buffer
+        if cached is None:
+            cached = self.tracker.min_buffer_seconds(
+                self.running, self.engine.now()
+            )
+            self._iter_min_buffer = cached
+        return cached
+
     def _prefill_token_budget(self) -> int:
         """Per-iteration prefill budget, dynamically partitioned (§4.2.3).
 
@@ -202,11 +226,7 @@ class ServingSystem:
         budget = self.config.max_prefill_tokens
         if not getattr(self.scheduler, "decode_priority_aware", False) or not self.running:
             return budget
-        now = self.engine.now()
-        min_buffer = min(
-            self.tracker.buffer_seconds(request.req_id, now) for request in self.running
-        )
-        slack = min_buffer - self._prefill_defer_margin
+        slack = self._min_running_buffer() - self._prefill_defer_margin
         dyn = int(slack / self._per_token_prefill_s) if slack > 0 else 0
         floor = min(256, budget)
         return max(floor, min(budget, dyn))
@@ -228,11 +248,7 @@ class ServingSystem:
         plan = self.executor.plan_prefill(
             [(request.req_id, chunk) for request, chunk in entries]
         )
-        now = self.engine.now()
-        min_buffer = min(
-            self.tracker.buffer_seconds(request.req_id, now) for request in self.running
-        )
-        return min_buffer < plan.duration + self._prefill_defer_margin
+        return self._min_running_buffer() < plan.duration + self._prefill_defer_margin
 
     # --- prefill path -----------------------------------------------------------
     def _plan_prefill(self) -> list:
@@ -245,11 +261,15 @@ class ServingSystem:
         control avoids triggering.
         """
         entries: list = []
+        queue = self.prefill_queue
+        if not queue:
+            # Nothing to prefill: skip the budget computation (and its
+            # min-buffer pass) entirely — the steady-decode common case.
+            return entries
         budget = self._prefill_token_budget()
         if budget <= 0:
             return entries
-        queue = self.prefill_queue
-        if getattr(self.scheduler, "decode_priority_aware", False):
+        if len(queue) > 1 and getattr(self.scheduler, "decode_priority_aware", False):
             # Recompute-resumes have live consumers draining a buffer;
             # they bypass fresh admissions (§4.2.3 latency-sensitive
             # bypass).  Fresh requests keep FCFS order among themselves.
@@ -284,7 +304,7 @@ class ServingSystem:
         )
         duration = result.duration + overhead
         now = self.engine.now()
-        self.kv.drain_writes(now, now + duration, priority=self._write_priority)
+        self.kv.drain_writes(now, now + duration, priority=self._write_priority_at(now))
         if self.tracer is not None:
             self.tracer.record(now, "executor", "prefill_start",
                                tokens=result.tokens, batch=len(entries),
@@ -327,15 +347,24 @@ class ServingSystem:
             self.scheduler, "decode_priority_aware", False
         ):
             # More residents than decode slots: serve the most starved.
+            # nsmallest == sorted(...)[:max_batch] (it is stable), but
+            # only does O(n log k) work.
             now = self.engine.now()
-            ordered = sorted(
+            tracker = self.tracker
+            batch = heapq.nsmallest(
+                self.config.max_batch,
                 self.running,
-                key=lambda r: self.tracker.buffer_seconds(r.req_id, now),
+                key=lambda r: tracker.buffer_seconds(r.req_id, now),
             )
-            batch = ordered[: self.config.max_batch]
         else:
             batch = list(self.running[: self.config.max_batch])
-        deficit = self._block_deficit(batch)
+        # Growth blocks are a function of each request's own KV record,
+        # so one computation serves both the deficit check and the
+        # batch-fitting pass (preempting a victim never changes another
+        # request's growth).
+        growth_of = self.kv.decode_growth_blocks
+        growth = {r.req_id: growth_of(r.req_id) for r in batch}
+        deficit = max(0, sum(growth.values()) - self.kv.gpu_free_blocks())
         if deficit > 0:
             victims = self.scheduler.select_oom_victims(self.view(), deficit)
             for victim in victims:
@@ -346,29 +375,23 @@ class ServingSystem:
         fitted: list = []
         free = self.kv.gpu_free_blocks()
         for request in batch:
-            need = self._growth_blocks(request)
+            need = growth[request.req_id]
             if need > free:
                 continue
             free -= need
             fitted.append(request)
         return fitted
 
-    def _growth_blocks(self, request: Request) -> int:
-        record = self.kv.record(request.req_id)
-        held = self.kv.gpu_pool.used_by(request.req_id) - record.pending_free_blocks
-        return max(0, self.kv.blocks_for_tokens(record.gpu_tokens + 1) - max(0, held))
-
-    def _block_deficit(self, batch: list) -> int:
-        needed = sum(self._growth_blocks(request) for request in batch)
-        return max(0, needed - self.kv.gpu_free_blocks())
-
     def _run_decode(self, batch: list, overhead: float) -> None:
         result = self.executor.plan_decode(
-            [(request.req_id, request.context_len) for request in batch]
+            # context_len inlined (prompt + generated): this comprehension
+            # runs once per batch member per iteration.
+            [(request.req_id, request.prompt_len + request.generated)
+             for request in batch]
         )
         duration = result.duration + overhead
         now = self.engine.now()
-        self.kv.drain_writes(now, now + duration, priority=self._write_priority)
+        self.kv.drain_writes(now, now + duration, priority=self._write_priority_at(now))
         if self.tracer is not None:
             self.tracer.record(now, "executor", "decode_start",
                                batch=len(batch), duration=duration)
@@ -380,12 +403,26 @@ class ServingSystem:
         )
 
     def _complete_decode(self, result, batch: list) -> None:
+        # The per-token fast path: this loop runs once per generated
+        # token across the whole simulation, so _emit_token /
+        # deliver_token are inlined (same operations, same order).
         now = self.engine.now()
+        on_decode_token = self.kv.on_decode_token
+        entries = self.tracker.entries_by_id
+        invalidate = self.tracker.occupancy_invalidator
+        running = RequestState.RUNNING
         for request in batch:
-            if request.state is not RequestState.RUNNING:
+            if request.state is not running:
                 continue
-            self.kv.on_decode_token(request.req_id)
-            self._emit_token(request, now)
+            req_id = request.req_id
+            on_decode_token(req_id)
+            request.record_token(now)
+            entries[req_id].buffer.deliver(now)
+            invalidate(req_id, None)
+            if now > self._last_token_time:
+                self._last_token_time = now
+            if request.generated >= request.output_len:
+                self._finish(request, now)
         self.executor.commit(result)
         self._sample_timeline()
         self._busy = False
@@ -393,8 +430,12 @@ class ServingSystem:
 
     # --- token delivery / completion ------------------------------------------------
     def _emit_token(self, request: Request, now: float) -> None:
+        # NOTE: _complete_decode inlines this exact sequence (delivery,
+        # last-token-time update, finish check) for the per-token hot
+        # loop — any semantic change here must be mirrored there.
         self.tracker.deliver_token(request.req_id, now)
-        self._last_token_time = max(self._last_token_time, now)
+        if now > self._last_token_time:
+            self._last_token_time = now
         if request.generated >= request.output_len:
             self._finish(request, now)
 
@@ -445,27 +486,48 @@ class ServingSystem:
         )
 
     # --- glue -------------------------------------------------------------------------
-    def _write_priority(self, req_id: int) -> float:
-        """Chunked-write ordering: fatter buffers sync first (§5.2)."""
-        return self.tracker.buffer_seconds(req_id, self.engine.now())
+    def _write_priority_at(self, now: float):
+        """Chunked-write ordering: fatter buffers sync first (§5.2).
+
+        Returns a one-instant priority callable (binds ``now`` once so
+        the per-record calls stay flat dictionary work)."""
+        buffer_seconds = self.tracker.buffer_seconds
+        return lambda req_id: buffer_seconds(req_id, now)
 
     def _observe_swap(self, tau_evict: float, tau_load: float) -> None:
         if hasattr(self.scheduler, "observe_swap_latency"):
             self.scheduler.observe_swap_latency(tau_evict, tau_load)
 
     def _sample_timeline(self) -> None:
-        self.timeline.append(
+        """Record a (t, queued, running) sample, downsampling over time.
+
+        Long runs would otherwise grow the timeline without bound: when
+        the sample list reaches ``config.timeline_cap`` it is decimated
+        2:1 and the stride doubles, bounding memory at the cap while
+        keeping an evenly-spaced record.  Runs shorter than the cap
+        (every test/figure workload) are recorded exactly as before.
+        """
+        self._timeline_pending += 1
+        if self._timeline_pending < self._timeline_stride:
+            return
+        self._timeline_pending = 0
+        timeline = self.timeline
+        timeline.append(
             (
                 self.engine.now(),
                 len(self.waiting) + len(self.prefill_queue),
                 len(self.running),
             )
         )
+        if len(timeline) >= self.config.timeline_cap:
+            del timeline[1::2]
+            self._timeline_stride *= 2
 
     def view(self) -> SystemView:
         """Snapshot for schedulers (lists are live; treat as read-only)."""
+        now = self.engine.now()
         return SystemView(
-            now=self.engine.now(),
+            now=now,
             waiting=self.waiting,
             prefill_queue=self.prefill_queue,
             running=self.running,
@@ -476,6 +538,7 @@ class ServingSystem:
             executor=self.executor,
             latency=self.latency,
             max_batch=self.config.max_batch,
+            snapshot=self.tracker.snapshot(now),
         )
 
     # --- run + report ------------------------------------------------------------------

@@ -4,6 +4,11 @@ Events are opaque callbacks tagged with a timestamp and an insertion
 sequence number.  Ordering is (timestamp, sequence), so events that
 share a timestamp run in the order they were scheduled — this keeps
 runs deterministic without relying on heap tie-breaking accidents.
+
+Cancellation is lazy in the heap (the entry is discarded when it
+surfaces) but eager in the accounting: :meth:`Event.cancel` notifies
+the owning queue immediately, so ``len(queue)`` / ``pending()`` never
+overcount between a cancel and the eventual pop.
 """
 
 from __future__ import annotations
@@ -31,10 +36,25 @@ class Event:
     action: Callable[[], None] = field(compare=False)
     label: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    # Owning queue while the event is live in it; cleared on pop so a
+    # late cancel() cannot double-decrement the live count.
+    _queue: Optional["EventQueue"] = field(
+        default=None, compare=False, repr=False
+    )
 
     def cancel(self) -> None:
-        """Mark the event so the engine skips it when popped."""
+        """Mark the event so the engine skips it when popped.
+
+        Idempotent; the owning queue's live count is corrected at
+        cancel time, not when the stale heap entry is discarded.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        queue = self._queue
+        if queue is not None:
+            self._queue = None
+            queue._note_cancelled()
 
 
 class EventQueue:
@@ -47,32 +67,41 @@ class EventQueue:
 
     def push(self, time: float, action: Callable[[], None], label: str = "") -> Event:
         """Schedule ``action`` at absolute ``time`` and return the event."""
-        event = Event(time=time, seq=next(self._counter), action=action, label=label)
+        event = Event(
+            time=time, seq=next(self._counter), action=action, label=label,
+            _queue=self,
+        )
         heapq.heappush(self._heap, event)
         self._live += 1
         return event
 
+    def _note_cancelled(self) -> None:
+        """Accounting hook: a live event of ours was just cancelled."""
+        self._live -= 1
+
     def pop(self) -> Optional[Event]:
         """Pop the earliest live event, or ``None`` if the queue is empty.
 
-        Cancelled events are discarded transparently.
+        Cancelled events are discarded transparently (their live count
+        was already corrected at cancel time).
         """
         while self._heap:
             event = heapq.heappop(self._heap)
-            self._live -= 1
             if event.cancelled:
                 continue
+            event._queue = None
+            self._live -= 1
             return event
         return None
 
     def peek_time(self) -> Optional[float]:
         """Return the timestamp of the earliest live event, or ``None``."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-            self._live -= 1
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0].time
 
     def __len__(self) -> int:
         return self._live

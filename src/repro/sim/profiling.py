@@ -1,0 +1,127 @@
+"""Hot-path profiling helpers for the simulation core.
+
+Wraps :mod:`cProfile` so experiments and the perf harness can measure
+a run the same way every time: wall-clock, total function calls, peak
+RSS, and a compact hot-spot table.  Used by ``repro profile`` (CLI)
+and ``benchmarks/test_perf_simcore.py`` to track the perf trajectory
+across PRs.
+
+The wall-clock figure comes from a *separate unprofiled call* when
+``wall_runs`` is positive — cProfile roughly triples the runtime of
+call-heavy code, so timing under the profiler would overstate the cost
+of exactly the code this module exists to police.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import resource
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass(frozen=True)
+class HotSpot:
+    """One row of the profile report."""
+
+    ncalls: int
+    tottime: float
+    cumtime: float
+    location: str
+
+    def row(self) -> list:
+        return [self.ncalls, round(self.tottime, 3), round(self.cumtime, 3),
+                self.location]
+
+
+@dataclass
+class ProfileReport:
+    """Result of :func:`profile_call`."""
+
+    wall_s: float                 # unprofiled wall-clock (best of wall_runs)
+    profiled_s: float             # wall-clock under cProfile
+    total_calls: int
+    primitive_calls: int
+    peak_rss_kb: int
+    events_per_s: Optional[float] = None   # filled by callers that know |events|
+    hotspots: list = field(default_factory=list)  # [HotSpot], by tottime
+    result: object = None         # return value of the profiled callable
+
+    def render(self, top: int = 20) -> str:
+        lines = [
+            f"wall        {self.wall_s:.3f} s (unprofiled)",
+            f"profiled    {self.profiled_s:.3f} s",
+            f"calls       {self.total_calls:,} ({self.primitive_calls:,} primitive)",
+            f"peak rss    {self.peak_rss_kb / 1024:.1f} MiB",
+        ]
+        if self.events_per_s is not None:
+            lines.append(f"events/s    {self.events_per_s:,.0f}")
+        lines.append("")
+        lines.append(f"{'ncalls':>10}  {'tottime':>8}  {'cumtime':>8}  location")
+        for spot in self.hotspots[:top]:
+            lines.append(
+                f"{spot.ncalls:>10}  {spot.tottime:>8.3f}  {spot.cumtime:>8.3f}  "
+                f"{spot.location}"
+            )
+        return "\n".join(lines)
+
+
+def _collect_hotspots(stats: pstats.Stats, top: int) -> list:
+    spots = []
+    for func, (cc, nc, tottime, cumtime, _callers) in stats.stats.items():
+        filename, lineno, name = func
+        location = f"{filename}:{lineno}({name})"
+        spots.append(HotSpot(ncalls=nc, tottime=tottime, cumtime=cumtime,
+                             location=location))
+    spots.sort(key=lambda s: s.tottime, reverse=True)
+    return spots[:top]
+
+
+def profile_call(
+    fn: Callable[[], object],
+    top: int = 25,
+    wall_runs: int = 1,
+) -> ProfileReport:
+    """Profile ``fn()`` and return a :class:`ProfileReport`.
+
+    Args:
+        fn: zero-argument callable (wrap arguments in a lambda/partial).
+            It is invoked ``wall_runs`` times unprofiled for the wall
+            measurement plus once under cProfile for the call counts;
+            it must therefore be repeatable.
+        top: number of hot spots to keep.
+        wall_runs: unprofiled timing runs (best-of).  0 skips separate
+            timing and reports the profiled duration as ``wall_s``.
+    """
+    wall_best: Optional[float] = None
+    result: object = None
+    for _ in range(max(0, wall_runs)):
+        t0 = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - t0
+        if wall_best is None or elapsed < wall_best:
+            wall_best = elapsed
+
+    profiler = cProfile.Profile()
+    t0 = time.perf_counter()
+    profiler.enable()
+    profiled_result = fn()
+    profiler.disable()
+    profiled_s = time.perf_counter() - t0
+    if wall_runs <= 0:
+        result = profiled_result
+        wall_best = profiled_s
+
+    stats = pstats.Stats(profiler)
+    peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return ProfileReport(
+        wall_s=wall_best if wall_best is not None else profiled_s,
+        profiled_s=profiled_s,
+        total_calls=stats.total_calls,
+        primitive_calls=stats.prim_calls,
+        peak_rss_kb=peak_rss_kb,
+        hotspots=_collect_hotspots(stats, top),
+        result=result,
+    )

@@ -19,7 +19,8 @@ from repro.workload.request import Request
 @pytest.fixture(scope="module")
 def finished_system():
     config = ServingConfig(hardware="h200", model="llama3-8b",
-                           mem_frac=0.02, max_batch=4)
+                           mem_frac=0.02, max_batch=4,
+                           record_token_traces=True)
     system = ServingSystem(config, SGLangScheduler())
     system.submit([
         Request(req_id=i, arrival_time=0.0, prompt_len=64,

@@ -56,13 +56,52 @@ class TestEventQueue:
         queue.push(2.0, lambda: None)
         assert len(queue) == 2
         first.cancel()
-        # Cancellation is lazy, but pop() discards the cancelled entry
-        # and corrects the count in the same call.
         queue.pop()
         assert len(queue) == 0
+
+    def test_cancel_corrects_count_immediately(self):
+        """Regression: `_live` used to be decremented only when the
+        cancelled entry was popped, so pending()/__bool__ overcounted
+        between cancel and pop."""
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        first.cancel()
+        # The stale heap entry has not been popped yet, but the live
+        # count must already exclude it.
+        assert len(queue) == 1
+        only = queue.push(3.0, lambda: None)
+        only.cancel()
+        queue.pop()  # pops the live 2.0 event (skipping the stale 1.0)
+        assert len(queue) == 0
+        assert not queue
+
+    def test_double_cancel_is_idempotent(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_cancel_after_pop_does_not_underflow(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        popped = queue.pop()
+        assert popped is event
+        event.cancel()  # already popped: must not touch the count
+        assert len(queue) == 1
 
     def test_bool_reflects_liveness(self):
         queue = EventQueue()
         assert not queue
         queue.push(1.0, lambda: None)
         assert queue
+
+    def test_bool_false_when_only_cancelled_remain(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        event.cancel()
+        assert not queue
+        assert queue.pop() is None
