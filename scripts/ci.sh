@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 CI flow: the full pytest suite (unit + property + golden +
+# figure benches) including the perf smoke, with the wall-clock gate
+# relaxed so slow/loaded runners cannot fail a bit-identical build
+# (the deterministic call-count gate still protects perf regressions).
+#
+# Run directly or via `repro selftest`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+export REPRO_PERF_NO_WALL_GATE=1
+
+echo "== tier-1: full suite (tests/ + benchmarks/, incl. perf smoke) =="
+python -m pytest -x -q
+
+echo "== tier-1 OK =="

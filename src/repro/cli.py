@@ -3,22 +3,30 @@
 Usage::
 
     python -m repro.cli list
+    python -m repro.cli list-scenarios
+    python -m repro.cli run table1-h200-a --replicas 4 --router buffer_aware
     python -m repro.cli experiment fig16 --scale 0.25
     python -m repro.cli compare --systems sglang tokenflow \
         --arrival burst --n-requests 120 --hardware h200 --mem-frac 0.1
 
-``list`` enumerates the paper experiments; ``experiment`` regenerates
-one table/figure (same runners the benchmark suite uses);
+``list`` enumerates the paper experiments; ``list-scenarios`` the
+registered serving scenarios; ``run`` executes one scenario through
+the :func:`~repro.scenarios.build.build_run` pipeline (optionally as a
+multi-replica cluster behind a named router); ``experiment``
+regenerates one table/figure (same runners the benchmark suite uses);
 ``compare`` runs an ad-hoc workload across schedulers; ``profile``
 runs one Table 1 cell under cProfile and prints the hot-spot report
 (wall seconds, function calls, peak RSS) so perf regressions in the
-simulation core are measurable from the command line.
+simulation core are measurable from the command line; ``selftest``
+runs the tier-1 CI flow (``scripts/ci.sh``).
 """
 
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
+from pathlib import Path
 
 from repro.analysis.tables import render_table
 from repro.experiments import ablation, controlled, endtoend, micro, multirate
@@ -26,7 +34,9 @@ from repro.experiments import overhead as overhead_mod
 from repro.experiments import ratesweep, sensitivity, temporal, timeline, toy
 from repro.experiments.runner import run_comparison
 from repro.experiments.systems import SYSTEM_NAMES
+from repro.scenarios import build_run, get_scenario, list_scenarios
 from repro.serving.metrics import RunReport
+from repro.serving.routers import ROUTERS
 from repro.sim.rng import RngStreams
 from repro.workload.builder import RateMixture, WorkloadBuilder, WorkloadSpec
 
@@ -162,6 +172,73 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_list_scenarios(_args) -> int:
+    rows = [[name, desc] for name, desc in list_scenarios()]
+    print(render_table(["scenario", "description"], rows,
+                       title="Registered scenarios (repro run <scenario>)"))
+    return 0
+
+
+def _render_scenario_report(spec, run, report) -> str:
+    """One table for a scenario run (cluster gets per-node rows)."""
+    headers = RunReport.summary_headers() + ["stall(s)", "preempts"]
+    if run.is_cluster:
+        title = (f"{spec.name} · {spec.replicas} replicas · "
+                 f"router={run.target.router.name} · seed={spec.seed}")
+        rows = [
+            ["cluster",
+             round(report.effective_throughput, 1),
+             round(report.throughput, 1),
+             round(report.ttft_mean, 3),
+             round(report.ttft_p99, 3),
+             round(report.stall_total, 1),
+             report.preemptions]
+        ]
+        placements = run.target.placement_counts()
+        for idx, node_report in enumerate(report.per_instance):
+            rows.append(
+                [f"  node{idx} ({placements[idx]} reqs)"]
+                + node_report.summary_row()[1:]
+                + [round(node_report.stall_total, 1), node_report.preemptions]
+            )
+        headers = ["instance"] + headers[1:]
+    else:
+        title = f"{spec.name} · single instance · seed={spec.seed}"
+        rows = [report.summary_row()
+                + [round(report.stall_total, 1), report.preemptions]]
+    return render_table(headers, rows, title=title)
+
+
+def cmd_run(args) -> int:
+    overrides: dict = {}
+    if args.replicas is not None:
+        overrides["replicas"] = args.replicas
+    if args.router is not None:
+        overrides["router"] = args.router
+    if args.system is not None:
+        overrides["system"] = args.system
+    if args.horizon is not None:
+        overrides["horizon"] = args.horizon
+    try:
+        spec = get_scenario(args.name, scale=args.scale, seed=args.seed,
+                            **overrides)
+        run = build_run(spec)  # KeyError: unknown --system name
+    except (KeyError, ValueError) as exc:
+        print(str(exc.args[0] if exc.args else exc), file=sys.stderr)
+        return 2
+    report = run.execute()
+    print(_render_scenario_report(spec, run, report))
+    return 0
+
+
+def cmd_selftest(_args) -> int:
+    script = Path(__file__).resolve().parents[2] / "scripts" / "ci.sh"
+    if not script.exists():
+        print(f"selftest script not found: {script}", file=sys.stderr)
+        return 2
+    return subprocess.call(["bash", str(script)])
+
+
 def cmd_profile(args) -> int:
     from repro.experiments.controlled import TABLE1, build_workload, serving_kwargs
     from repro.sim.profiling import profile_call
@@ -198,6 +275,31 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list available experiments").set_defaults(
         func=cmd_list
     )
+
+    sub.add_parser(
+        "list-scenarios", help="list registered serving scenarios"
+    ).set_defaults(func=cmd_list_scenarios)
+
+    run_p = sub.add_parser(
+        "run", help="run one scenario through the build_run pipeline"
+    )
+    run_p.add_argument("name", help="scenario name (see `list-scenarios`)")
+    run_p.add_argument("--scale", type=float, default=0.25,
+                       help="workload scale factor (default 0.25)")
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--replicas", type=int, default=None,
+                       help="override replica count (>1 builds a cluster)")
+    run_p.add_argument("--router", choices=sorted(ROUTERS), default=None,
+                       help="override the cluster routing policy")
+    run_p.add_argument("--system", default=None,
+                       help="override the evaluated system/scheduler")
+    run_p.add_argument("--horizon", type=float, default=None,
+                       help="override the simulation safety horizon (s)")
+    run_p.set_defaults(func=cmd_run)
+
+    sub.add_parser(
+        "selftest", help="run the tier-1 CI flow (scripts/ci.sh)"
+    ).set_defaults(func=cmd_selftest)
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp.add_argument("name", help="experiment id (see `list`)")

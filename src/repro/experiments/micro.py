@@ -15,8 +15,8 @@ from typing import Sequence
 import numpy as np
 
 from repro.analysis.tables import render_table
-from repro.experiments.runner import run_single
-from repro.experiments.systems import build_system
+from repro.scenarios.build import build_run
+from repro.scenarios.spec import ScenarioSpec
 from repro.sim.rng import RngStreams
 from repro.workload.builder import RateMixture, WorkloadBuilder, WorkloadSpec
 from repro.workload.lengths import NormalLengthSampler
@@ -71,10 +71,12 @@ def run_burst_sweep(
             rates=RateMixture.fixed(rate),
         )
         requests = WorkloadBuilder(spec, RngStreams(seed)).build()
-        instance = build_system(
-            system, hardware=hardware, model=model, mem_frac=mem_frac, max_batch=64
-        )
-        report = run_single(instance, requests, horizon=horizon)
+        report = build_run(
+            ScenarioSpec(name=system, system=system, hardware=hardware,
+                         model=model, mem_frac=mem_frac, max_batch=64,
+                         horizon=horizon),
+            requests=requests,
+        ).execute()
         points.append(
             BurstPoint(
                 load=load,

@@ -15,8 +15,8 @@ from typing import Sequence
 import numpy as np
 
 from repro.analysis.tables import render_table
-from repro.experiments.runner import run_single
-from repro.experiments.systems import build_system
+from repro.scenarios.build import build_run
+from repro.scenarios.spec import ScenarioSpec
 from repro.sim.rng import RngStreams
 from repro.workload.builder import RateMixture, WorkloadBuilder, WorkloadSpec
 from repro.workload.lengths import NormalLengthSampler
@@ -56,11 +56,14 @@ def run_multirate(
     )
     requests = WorkloadBuilder(spec, RngStreams(seed)).build()
     # Per-token consumption timestamps feed the achieved-rate stats.
-    instance = build_system(
-        system, hardware=hardware, model=model, mem_frac=mem_frac,
-        max_batch=max_batch, record_token_traces=True,
+    run = build_run(
+        ScenarioSpec(name=system, system=system, hardware=hardware,
+                     model=model, mem_frac=mem_frac, max_batch=max_batch,
+                     record_token_traces=True),
+        requests=requests,
     )
-    run_single(instance, requests)
+    run.execute()
+    instance = run.target
 
     by_rate: dict = {rate: [] for rate in rates}
     stalls: dict = {rate: [] for rate in rates}

@@ -14,9 +14,10 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.analysis.tables import render_table
-from repro.experiments.runner import clone_requests
-from repro.experiments.systems import build_system
+from repro.scenarios.build import build_run
+from repro.scenarios.spec import ScenarioSpec
 from repro.sim.rng import RngStreams
+from repro.workload.request import clone_requests
 from repro.workload.builder import RateMixture, WorkloadBuilder, WorkloadSpec
 from repro.workload.lengths import NormalLengthSampler
 
@@ -41,9 +42,14 @@ def _loaded_system(name: str, n_requests: int, seed: int):
         rates=RateMixture.fixed(10.0),
     )
     requests = WorkloadBuilder(spec, RngStreams(seed)).build()
-    system = build_system(
-        name, hardware="h200", model="llama3-8b", mem_frac=0.1, max_batch=48
+    # Built through the scenario pipeline but driven only mid-burst
+    # (the measurement wants a loaded snapshot, not a finished run).
+    run = build_run(
+        ScenarioSpec(name=name, system=name, hardware="h200",
+                     model="llama3-8b", mem_frac=0.1, max_batch=48),
+        requests=requests,
     )
+    system = run.target
     system.submit(clone_requests(requests))
     system.run(until=8.0)  # mid-burst: queues and buffers populated
     return system

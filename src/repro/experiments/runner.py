@@ -4,31 +4,24 @@ Every comparison in the paper runs each system on the *same* workload;
 :func:`clone_requests` gives each system a fresh copy of the request
 objects (runtime state is per-system), and :func:`run_comparison`
 drives all systems to completion with a safety horizon.
+
+Both helpers route through the scenario pipeline
+(:func:`repro.scenarios.build.build_run`): a comparison is one ad-hoc
+:class:`~repro.scenarios.spec.ScenarioSpec` per system, executed on an
+identical workload copy.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.experiments.systems import build_system
+from repro.scenarios.build import ScenarioRun, build_run
+from repro.scenarios.spec import ScenarioSpec
 from repro.serving.metrics import RunReport
 from repro.serving.server import ServingSystem
-from repro.workload.request import Request
+from repro.workload.request import clone_requests
 
-
-def clone_requests(requests: Sequence) -> list:
-    """Fresh copies of the workload attributes of ``requests``."""
-    return [
-        Request(
-            req_id=r.req_id,
-            arrival_time=r.arrival_time,
-            prompt_len=r.prompt_len,
-            output_len=r.output_len,
-            rate=r.rate,
-            is_agent=r.is_agent,
-        )
-        for r in requests
-    ]
+__all__ = ["clone_requests", "run_single", "run_comparison"]
 
 
 def run_single(
@@ -36,15 +29,13 @@ def run_single(
     requests: Sequence,
     horizon: float = 50_000.0,
 ) -> RunReport:
-    """Run one system on one workload and return its report."""
-    system.submit(clone_requests(requests))
-    system.run(until=horizon)
-    if system.unfinished:
-        raise RuntimeError(
-            f"{system.scheduler.name}: {system.unfinished} requests unfinished "
-            f"at horizon {horizon}s — raise the horizon or shrink the workload"
-        )
-    return system.report()
+    """Run one already-built system on one workload and return its report."""
+    run = ScenarioRun(
+        spec=ScenarioSpec(name=system.scheduler.name, horizon=horizon),
+        target=system,
+        requests=list(requests),
+    )
+    return run.execute()
 
 
 def run_comparison(
@@ -63,13 +54,15 @@ def run_comparison(
     """
     reports: dict = {}
     for name in system_names:
-        system = build_system(
-            name,
+        spec = ScenarioSpec(
+            name=name,
+            system=name,
             hardware=hardware,
             model=model,
             mem_frac=mem_frac,
             max_batch=max_batch,
+            horizon=horizon,
             tokenflow_params=tokenflow_params,
         )
-        reports[name] = run_single(system, requests, horizon=horizon)
+        reports[name] = build_run(spec, requests=list(requests)).execute()
     return reports

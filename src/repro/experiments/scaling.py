@@ -5,6 +5,11 @@ with a dispatch layer for multi-node serving.  This experiment runs
 the same flash crowd against clusters of 1..N identical TokenFlow
 nodes and reports how burst absorption scales — the cluster analogue
 of Fig. 16's single-node metrics.
+
+Runs route through the scenario pipeline: each node count is one
+``cluster-burst`` :class:`~repro.scenarios.spec.ScenarioSpec` (same
+workload, different ``replicas``), so the benchmark exercises exactly
+the cluster wiring ``repro run`` builds.
 """
 
 from __future__ import annotations
@@ -13,9 +18,8 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.analysis.tables import render_table
-from repro.core.scheduler import TokenFlowScheduler
-from repro.experiments.runner import clone_requests
-from repro.serving.cluster import ServingCluster
+from repro.scenarios.build import build_run
+from repro.scenarios.spec import ScenarioSpec
 from repro.sim.rng import RngStreams
 from repro.workload.builder import RateMixture, WorkloadBuilder, WorkloadSpec
 from repro.workload.lengths import NormalLengthSampler
@@ -53,24 +57,27 @@ def run_cluster_scaling(
     requests = WorkloadBuilder(spec, RngStreams(seed)).build()
     points: list = []
     for n_instances in node_counts:
-        cluster = ServingCluster.homogeneous(
-            n_instances,
-            TokenFlowScheduler,
-            dispatch=dispatch,
-            hardware="h200",
-            model="llama3-8b",
-            mem_frac=0.02,
-            max_batch=16,
+        run = build_run(
+            ScenarioSpec(
+                name=f"cluster-burst-{n_instances}x",
+                system="tokenflow",
+                hardware="h200",
+                model="llama3-8b",
+                mem_frac=0.02,
+                max_batch=16,
+                replicas=n_instances,
+                router=dispatch,
+                seed=seed,
+                horizon=horizon,
+            ),
+            requests=requests,
         )
-        cluster.submit(clone_requests(requests))
-        cluster.run(until=horizon)
-        if cluster.unfinished:
-            raise RuntimeError(
-                f"{n_instances}-node cluster left {cluster.unfinished} unfinished"
-            )
-        report = cluster.report()
-        counts = cluster.placement_counts()
-        spread = max(counts) / max(1, min(counts)) if counts else 1.0
+        report = run.execute()
+        if run.is_cluster:
+            counts = run.target.placement_counts()
+            spread = max(counts) / max(1, min(counts)) if counts else 1.0
+        else:
+            spread = 1.0  # single node: placement is trivially even
         points.append(
             ScalingPoint(
                 n_instances=n_instances,

@@ -13,8 +13,9 @@ from typing import Sequence
 import numpy as np
 
 from repro.analysis.tables import render_table
-from repro.experiments.runner import clone_requests
-from repro.experiments.systems import SYSTEM_NAMES, build_system
+from repro.experiments.systems import SYSTEM_NAMES
+from repro.scenarios.build import build_run
+from repro.scenarios.spec import ScenarioSpec
 from repro.sim.rng import RngStreams
 from repro.workload.builder import RateMixture, WorkloadBuilder, WorkloadSpec
 from repro.workload.burstgpt import BurstGPTTraceGenerator
@@ -80,13 +81,13 @@ def run_temporal(
     requests = build_stress_trace(duration=duration, base_rate=base_rate, seed=seed)
     results: dict = {}
     for name in systems:
-        system = build_system(name, hardware=hardware, model=model, max_batch=max_batch)
-        system.submit(clone_requests(requests))
-        system.run(until=horizon)
-        if system.unfinished:
-            raise RuntimeError(f"{name}: {system.unfinished} unfinished at horizon")
-        end = system.makespan()
-        series = binned_timeline(system.timeline, bin_s, end)
+        run = build_run(
+            ScenarioSpec(name=name, system=name, hardware=hardware,
+                         model=model, max_batch=max_batch, horizon=horizon),
+            requests=requests,
+        )
+        report = run.execute()
+        series = binned_timeline(report.timeline, bin_s, report.makespan)
         series["peak_queued"] = float(np.max(series["queued"])) if len(series["queued"]) else 0.0
         series["mean_running"] = float(np.mean(series["running"])) if len(series["running"]) else 0.0
         results[name] = series

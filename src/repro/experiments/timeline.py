@@ -15,8 +15,8 @@ from typing import Sequence
 import numpy as np
 
 from repro.analysis.tables import render_table
-from repro.experiments.runner import run_single
-from repro.experiments.systems import build_system
+from repro.scenarios.build import build_run
+from repro.scenarios.spec import ScenarioSpec
 from repro.sim.rng import RngStreams
 from repro.workload.builder import RateMixture, WorkloadBuilder, WorkloadSpec
 from repro.workload.lengths import NormalLengthSampler
@@ -54,8 +54,13 @@ def run_timelines(
     requests = WorkloadBuilder(spec, RngStreams(seed)).build()
     results: dict = {}
     for name in systems:
-        system = build_system(name, hardware=hardware, model=model, max_batch=max_batch)
-        run_single(system, requests)
+        run = build_run(
+            ScenarioSpec(name=name, system=name, hardware=hardware,
+                         model=model, max_batch=max_batch),
+            requests=requests,
+        )
+        run.execute()
+        system = run.target
         token_times = {}
         ttfts = {}
         rates = {}

@@ -18,13 +18,13 @@ from typing import Sequence
 import numpy as np
 
 from repro.analysis.tables import render_table
-from repro.core.scheduler import TokenFlowParams, TokenFlowScheduler
+from repro.core.scheduler import TokenFlowParams
 from repro.core.utility import UtilityParams
 from repro.core.working_set import WorkingSetParams
 from repro.gpu.hardware import HardwareSpec
 from repro.gpu.models import ModelSpec
-from repro.serving.config import ServingConfig
-from repro.serving.server import ServingSystem
+from repro.scenarios.build import build_run
+from repro.scenarios.spec import ScenarioSpec
 from repro.workload.request import Request
 
 # A tiny accelerator: decode step ~50 ms regardless of batch (weight
@@ -80,15 +80,6 @@ def run_toy_example(
     """Run the three-request toy scenario under TokenFlow."""
     if len(rates) != 3:
         raise ValueError("the toy example uses exactly three requests")
-    config = ServingConfig(
-        hardware=TOY_HARDWARE,
-        model=TOY_MODEL,
-        mem_frac=0.02,
-        max_batch=2,
-        block_size=16,
-        # occupancy_series() reconstructs B(t) from the full traces.
-        record_token_traces=True,
-    )
     params = TokenFlowParams(
         tick_interval=0.25,
         critical_buffer_s=1.0,
@@ -97,7 +88,6 @@ def run_toy_example(
             safety_factor=1.5, schedule_latency=0.25, initial_beta_tokens=128.0
         ),
     )
-    system = ServingSystem(config, TokenFlowScheduler(params))
     requests = [
         Request(req_id=0, arrival_time=0.0, prompt_len=prompt_len,
                 output_len=output_len, rate=rates[0]),
@@ -106,9 +96,23 @@ def run_toy_example(
         Request(req_id=2, arrival_time=third_arrival, prompt_len=prompt_len,
                 output_len=output_len, rate=rates[2]),
     ]
-    system.submit(requests)
-    system.run(until=5_000.0)
-    report = system.report()
+    run = build_run(
+        ScenarioSpec(
+            name="fig06-toy",
+            system="tokenflow",
+            hardware=TOY_HARDWARE,
+            model=TOY_MODEL,
+            mem_frac=0.02,
+            max_batch=2,
+            tokenflow_params=params,
+            # occupancy_series() reconstructs B(t) from the full traces.
+            record_token_traces=True,
+            horizon=5_000.0,
+        ),
+        requests=requests,
+    )
+    report = run.execute()
+    system = run.target
 
     horizon = max(m.finish_time or 0.0 for m in report.per_request) + 1.0
     times = np.arange(0.0, horizon, sample_dt)

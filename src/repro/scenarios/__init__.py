@@ -1,0 +1,30 @@
+"""Scenario-driven serving runs.
+
+One declarative :class:`~repro.scenarios.spec.ScenarioSpec` names a
+complete serving run — workload, hardware, scheduler/system, router,
+replicas, seed — and :func:`~repro.scenarios.build.build_run` turns it
+into a ready :class:`~repro.scenarios.build.ScenarioRun`.  The
+registry (:mod:`repro.scenarios.registry`) covers the paper's Table 1
+and Table 2 setups plus multi-replica and bursty-session extensions;
+``repro run <scenario>`` and ``repro list-scenarios`` expose it on the
+command line.
+"""
+
+from repro.scenarios.build import ScenarioRun, build_run
+from repro.scenarios.registry import (
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    scenario_names,
+)
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "ScenarioRun",
+    "ScenarioSpec",
+    "build_run",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,128 @@
+"""The one run pipeline: ``ScenarioSpec`` -> built system -> report.
+
+Every entrypoint — ``repro run``, the experiment runners, the
+benchmark suite — builds serving runs through :func:`build_run`, so a
+scenario behaves identically no matter where it is launched from.
+
+``build_run`` returns a :class:`ScenarioRun` rather than executing
+immediately: experiment code that needs the live system afterwards
+(timelines, tracker entries, mid-run snapshots) executes the run and
+then inspects ``run.target``.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.scenarios.spec import ScenarioSpec
+from repro.serving.cluster import ClusterReport, ServingCluster
+from repro.serving.config import ServingConfig
+from repro.serving.metrics import RunReport
+from repro.serving.server import ServingSystem
+from repro.workload.request import clone_requests
+
+
+@dataclass
+class ScenarioRun:
+    """A built-but-not-yet-executed scenario.
+
+    Attributes:
+        spec: the scenario that produced this run.
+        target: the built :class:`ServingSystem` (``replicas == 1``) or
+            :class:`ServingCluster`.
+        requests: the materialised workload (cloned at execute time, so
+            one :class:`ScenarioRun` template's requests can seed
+            several runs).
+    """
+
+    spec: ScenarioSpec
+    target: Union[ServingSystem, ServingCluster]
+    requests: list
+
+    @property
+    def is_cluster(self) -> bool:
+        return isinstance(self.target, ServingCluster)
+
+    def execute(self) -> Union[RunReport, ClusterReport]:
+        """Submit the workload, drain the engine, and report.
+
+        Raises ``RuntimeError`` if requests remain unfinished at the
+        spec's horizon — a mis-sized workload, not a soft failure.
+        """
+        spec = self.spec
+        self.target.submit(clone_requests(self.requests))
+        self.target.run(until=spec.horizon)
+        if self.target.unfinished:
+            raise RuntimeError(
+                f"{self._label()}: {self.target.unfinished} requests unfinished "
+                f"at horizon {spec.horizon}s — raise the horizon or shrink the "
+                f"workload"
+            )
+        return self.target.report()
+
+    def _label(self) -> str:
+        # Ad-hoc comparison specs label errors by system name (the
+        # pre-scenario message format); named scenarios by scenario.
+        return self.spec.name or self.spec.system
+
+
+def build_run(spec: ScenarioSpec, requests: Optional[list] = None) -> ScenarioRun:
+    """Build the serving target for ``spec`` (single node or cluster).
+
+    ``requests`` overrides the spec's workload factory — comparison
+    runners pass one shared request list across several specs.
+    """
+    # Imported here: repro.experiments.runner (imported by the package
+    # __init__) itself routes through this module, and Python cannot
+    # resolve that cycle at import time.
+    from repro.experiments.systems import (
+        build_system,
+        make_kv_config,
+        make_scheduler,
+    )
+
+    if requests is None:
+        requests = spec.build_workload()
+
+    if spec.replicas == 1:
+        system = build_system(
+            spec.system,
+            hardware=spec.hardware,
+            model=spec.model,
+            mem_frac=spec.mem_frac,
+            max_batch=spec.max_batch,
+            block_size=spec.block_size,
+            tokenflow_params=spec.tokenflow_params,
+            record_token_traces=spec.record_token_traces,
+        )
+        return ScenarioRun(spec=spec, target=system, requests=requests)
+
+    configs = [
+        ServingConfig(
+            hardware=spec.hardware,
+            model=spec.model,
+            mem_frac=spec.mem_frac,
+            max_batch=spec.max_batch,
+            block_size=spec.block_size,
+            kv=make_kv_config(spec.system, spec.block_size),
+            record_token_traces=spec.record_token_traces,
+        )
+        for _ in range(spec.replicas)
+    ]
+
+    def scheduler_factory():
+        scheduler = make_scheduler(spec.system, spec.tokenflow_params)
+        # Label reports with the experiment's system name (ablation
+        # variants share the TokenFlow scheduler class).
+        scheduler.name = spec.system
+        return scheduler
+
+    # Router names resolve to a fresh instance inside the cluster; a
+    # Router *instance* on the spec is copied so its state (stripe
+    # counters, sticky session maps) never leaks between runs of the
+    # same spec — repeated builds stay independent and deterministic.
+    router = spec.router if isinstance(spec.router, str) else copy.deepcopy(spec.router)
+    cluster = ServingCluster(configs, scheduler_factory, router=router)
+    return ScenarioRun(spec=spec, target=cluster, requests=requests)

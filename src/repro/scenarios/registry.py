@@ -1,0 +1,264 @@
+"""Named scenario registry.
+
+Maps scenario names to builder functions producing fully-resolved
+:class:`~repro.scenarios.spec.ScenarioSpec` values.  Builders take the
+workload ``scale`` and ``seed`` (everything scale-dependent — crowd
+sizes, KV pool fractions, horizons — is derived inside the builder,
+exactly as the experiment runners derive it), and callers layer
+scale-independent overrides (``replicas``, ``router``, ``system``) on
+top via :meth:`ScenarioSpec.with_overrides`.
+
+Registered families:
+
+* ``table1-<gpu>-<key>`` — the paper's Table 1 controlled setups
+  (burst and Poisson cells on RTX 4090 / H200).
+* ``tab02-<variant>`` — the Table 2 memory-management ablations on the
+  constrained-PCIe 4090 setup.
+* ``cluster-burst-4x`` — §8 scale-out: one flash crowd over four
+  TokenFlow replicas behind a router.
+* ``bursty-sessions`` — multi-turn conversations arriving in bursts,
+  the ``session_affinity`` router's home ground.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Tuple
+
+from repro.gpu.hardware import get_hardware
+from repro.scenarios.spec import ScenarioSpec
+from repro.sim.rng import RngStreams
+from repro.workload.builder import RateMixture, WorkloadBuilder, WorkloadSpec
+from repro.workload.lengths import NormalLengthSampler
+from repro.workload.request import Request
+from repro.workload.sessions import TURN_STRIDE
+
+# name -> (description, builder(scale, seed) -> ScenarioSpec)
+_REGISTRY: Dict[str, Tuple[str, Callable[..., ScenarioSpec]]] = {}
+
+# The Table 1 / Table 2 families derive from the experiment modules,
+# which themselves import the run pipeline — registering them lazily
+# (on first lookup) keeps the import graph acyclic.
+_EXPERIMENT_FAMILIES_REGISTERED = False
+
+
+def _ensure_registered() -> None:
+    global _EXPERIMENT_FAMILIES_REGISTERED
+    if not _EXPERIMENT_FAMILIES_REGISTERED:
+        _EXPERIMENT_FAMILIES_REGISTERED = True
+        _register_table1()
+        _register_ablations()
+
+
+def register_scenario(name: str, description: str):
+    """Decorator: register ``fn(scale, seed) -> ScenarioSpec``."""
+    def decorator(fn: Callable[..., ScenarioSpec]):
+        if name in _REGISTRY:
+            raise ValueError(f"scenario {name!r} registered twice")
+        _REGISTRY[name] = (description, fn)
+        return fn
+    return decorator
+
+
+def get_scenario(
+    name: str, scale: float = 1.0, seed: int = 0, **overrides
+) -> ScenarioSpec:
+    """Resolve a registered scenario at a scale/seed, with overrides.
+
+    ``overrides`` are scale-independent spec fields (``replicas``,
+    ``router``, ``system``, ``horizon`` ...) applied on top of the
+    builder's output.
+    """
+    _ensure_registered()
+    if name not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown scenario {name!r}; known: {known}")
+    _, builder = _REGISTRY[name]
+    spec = builder(scale=scale, seed=seed)
+    if overrides:
+        spec = spec.with_overrides(**overrides)
+    return spec
+
+
+def list_scenarios() -> List[Tuple[str, str]]:
+    """``(name, description)`` rows, sorted by name."""
+    _ensure_registered()
+    return [(name, desc) for name, (desc, _) in sorted(_REGISTRY.items())]
+
+
+def scenario_names() -> List[str]:
+    _ensure_registered()
+    return sorted(_REGISTRY)
+
+
+# --- Table 1 controlled setups ---------------------------------------------
+
+def _register_table1() -> None:
+    # Imported here (not module top) purely for import-order hygiene:
+    # controlled.py pulls in the runner stack, which in turn loads the
+    # build pipeline.
+    from repro.experiments.controlled import TABLE1, build_workload, serving_kwargs
+
+    def make_builder(setup, name):
+        def build(scale: float = 1.0, seed: int = 0) -> ScenarioSpec:
+            kwargs = serving_kwargs(setup, scale)
+            return ScenarioSpec(
+                name=name,
+                description=setup.label(),
+                system="tokenflow",
+                hardware=kwargs["hardware"],
+                model=kwargs["model"],
+                mem_frac=kwargs["mem_frac"],
+                max_batch=kwargs["max_batch"],
+                scale=scale,
+                seed=seed,
+                workload=lambda spec: build_workload(
+                    setup, scale=spec.scale, seed=spec.seed
+                ),
+            )
+        return build
+
+    for (gpu, key), setup in sorted(TABLE1.items()):
+        name = f"table1-{gpu}-{key}"
+        register_scenario(name, f"Table 1 {setup.label()}")(
+            make_builder(setup, name)
+        )
+
+
+# --- Table 2 ablations ------------------------------------------------------
+
+def _register_ablations() -> None:
+    from repro.experiments.controlled import TABLE1, build_workload, serving_kwargs
+    from repro.experiments.systems import ABLATION_NAMES
+
+    setup = TABLE1[("rtx4090", "b")]
+    # The constrained host link that makes the §5.3 overlap technique
+    # measurable (see experiments/ablation.py).
+    pcie_gbps = 2.0
+
+    def make_builder(variant, name):
+        def build(scale: float = 1.0, seed: int = 0) -> ScenarioSpec:
+            kwargs = serving_kwargs(setup, scale)
+            hardware = dataclasses.replace(
+                get_hardware(kwargs["hardware"]), pcie_bandwidth_gbps=pcie_gbps
+            )
+            return ScenarioSpec(
+                name=name,
+                description=f"Table 2 ablation: {variant} (PCIe {pcie_gbps} GB/s)",
+                system=variant,
+                hardware=hardware,
+                model=kwargs["model"],
+                mem_frac=kwargs["mem_frac"],
+                max_batch=kwargs["max_batch"],
+                scale=scale,
+                seed=seed,
+                workload=lambda spec: build_workload(
+                    setup, scale=spec.scale, seed=spec.seed
+                ),
+            )
+        return build
+
+    for variant in ABLATION_NAMES:
+        name = f"tab02-{variant}"
+        register_scenario(name, f"Table 2 memory ablation: {variant}")(
+            make_builder(variant, name)
+        )
+
+
+# --- §8 multi-replica scale-out ---------------------------------------------
+
+def _cluster_burst_workload(spec: ScenarioSpec) -> list:
+    wl = WorkloadSpec(
+        arrival="burst",
+        n_requests=max(8, int(96 * spec.scale)),
+        burst_spread=0.25,
+        lengths=NormalLengthSampler(),
+        rates=RateMixture.fixed(10.0),
+    )
+    return WorkloadBuilder(wl, RngStreams(spec.seed)).build()
+
+
+@register_scenario(
+    "cluster-burst-4x",
+    "§8 scale-out: one flash crowd over 4 TokenFlow replicas",
+)
+def _cluster_burst(scale: float = 1.0, seed: int = 0) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="cluster-burst-4x",
+        description="flash crowd on a 4-replica TokenFlow cluster",
+        system="tokenflow",
+        hardware="h200",
+        model="llama3-8b",
+        mem_frac=0.02,
+        max_batch=16,
+        replicas=4,
+        router="least_loaded",
+        scale=scale,
+        seed=seed,
+        workload=_cluster_burst_workload,
+    )
+
+
+# --- bursty multi-turn sessions ---------------------------------------------
+
+def _bursty_session_workload(spec: ScenarioSpec) -> list:
+    """Conversation turns arriving in bursts.
+
+    ``n_sessions`` conversations all start inside one flash crowd;
+    each follows up with ``n_turns - 1`` further turns, spaced by the
+    time a 10 tok/s reader needs to consume the previous answer plus a
+    think-time gap.  Request ids use the ``TURN_STRIDE`` partitioning
+    of :mod:`repro.workload.sessions` and carry ``session_id``, so
+    ``session_affinity`` routing pins whole conversations to one
+    replica.  Turn prompts grow with the accumulated context (earlier
+    turns are re-fed as history).
+    """
+    n_sessions = max(4, int(24 * spec.scale))
+    n_turns = 3
+    rate = 10.0
+    rng = RngStreams(spec.seed).stream("bursty-sessions")
+    requests: list = []
+    for session in range(n_sessions):
+        start = float(rng.uniform(0.0, 0.5))
+        prompt = int(rng.integers(96, 256))
+        context = prompt
+        arrival = start
+        for turn in range(n_turns):
+            output = int(rng.integers(96, 192))
+            requests.append(
+                Request(
+                    req_id=session * TURN_STRIDE + turn,
+                    arrival_time=arrival,
+                    prompt_len=context,
+                    output_len=output,
+                    rate=rate,
+                    session_id=session,
+                )
+            )
+            think = float(rng.uniform(0.5, 2.0))
+            arrival += output / rate + think
+            # Next turn re-feeds the history plus a fresh user message.
+            context += output + int(rng.integers(32, 96))
+    requests.sort(key=lambda r: (r.arrival_time, r.req_id))
+    return requests
+
+
+@register_scenario(
+    "bursty-sessions",
+    "multi-turn chat sessions arriving in bursts (session_affinity demo)",
+)
+def _bursty_sessions(scale: float = 1.0, seed: int = 0) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="bursty-sessions",
+        description="bursty multi-turn conversations on a 2-replica cluster",
+        system="tokenflow",
+        hardware="h200",
+        model="llama3-8b",
+        mem_frac=0.02,
+        max_batch=16,
+        replicas=2,
+        router="session_affinity",
+        scale=scale,
+        seed=seed,
+        workload=_bursty_session_workload,
+    )

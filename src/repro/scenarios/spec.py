@@ -1,0 +1,89 @@
+"""Declarative scenario specification.
+
+A :class:`ScenarioSpec` names everything one serving run needs —
+workload, hardware, model, scheduler/system, router, replica count,
+seed, horizon — in one frozen value object.  Experiments, benchmarks
+and the CLI all hand a spec to
+:func:`repro.scenarios.build.build_run`, so every entrypoint wires
+systems identically (the "one pipeline" invariant).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from repro.serving.routers import ROUTERS, Router
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named, fully-determined serving scenario.
+
+    Attributes:
+        name: scenario identifier (registry key or ad-hoc label).
+        description: one-line human description.
+        system: evaluated system name (scheduler + KV wiring), as
+            understood by :func:`repro.experiments.systems.build_system`.
+        hardware: hardware spec or name (e.g. "h200").
+        model: model spec or name (e.g. "llama3-8b").
+        mem_frac: KV-pool share of device memory (None = derived).
+        max_batch: decode batch cap per instance.
+        block_size: KV block size in tokens.
+        replicas: number of serving instances; >1 builds a
+            :class:`~repro.serving.cluster.ServingCluster`.
+        router: cluster routing policy name (or Router instance) —
+            ignored when ``replicas == 1``.
+        seed: root RNG seed for the workload.
+        scale: workload scale factor (scenario builders shrink crowd
+            sizes / horizons proportionally, like the experiments).
+        horizon: simulation-time safety horizon for :meth:`execute`.
+        workload: callable ``spec -> list[Request]`` materialising the
+            workload (None for ad-hoc specs driven with explicit
+            request lists).
+        tokenflow_params: optional TokenFlow parameter overrides.
+        record_token_traces: keep per-token buffer traces (plots/export).
+    """
+
+    name: str
+    description: str = ""
+    system: str = "tokenflow"
+    hardware: Union[str, object] = "h200"
+    model: Union[str, object] = "llama3-8b"
+    mem_frac: Optional[float] = None
+    max_batch: int = 64
+    block_size: int = 16
+    replicas: int = 1
+    router: Union[str, Router] = "least_loaded"
+    seed: int = 0
+    scale: float = 1.0
+    horizon: float = 50_000.0
+    workload: Optional[Callable[["ScenarioSpec"], list]] = None
+    tokenflow_params: Optional[object] = None
+    record_token_traces: bool = False
+
+    def __post_init__(self) -> None:
+        if self.replicas <= 0:
+            raise ValueError(f"replicas must be positive, got {self.replicas}")
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+        if self.horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {self.horizon}")
+        if isinstance(self.router, str) and self.router not in ROUTERS:
+            raise ValueError(
+                f"unknown router {self.router!r}; known: {sorted(ROUTERS)}"
+            )
+
+    def with_overrides(self, **changes) -> "ScenarioSpec":
+        """A copy of this spec with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    def build_workload(self) -> list:
+        """Materialise the spec's request list (requires ``workload``)."""
+        if self.workload is None:
+            raise ValueError(
+                f"scenario {self.name!r} has no workload factory; pass an "
+                f"explicit request list to build_run instead"
+            )
+        return self.workload(self)

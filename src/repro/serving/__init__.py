@@ -4,6 +4,8 @@
 scheduler (TokenFlow or a baseline), the iteration-level executor, the
 hierarchical KV manager, and per-request client buffers on one
 discrete-event engine, and produces a :class:`~repro.serving.metrics.RunReport`.
+The loop itself is staged (see :mod:`repro.serving.stages`); clusters
+route arrivals across instances via :mod:`repro.serving.routers`.
 """
 
 from repro.serving.cluster import ClusterReport, ServingCluster
@@ -15,8 +17,20 @@ from repro.serving.export import (
     save_token_trace_jsonl,
 )
 from repro.serving.interface import BaseScheduler, SchedulerDecision, SystemView
-from repro.serving.metrics import RequestMetrics, RunReport, build_report
+from repro.serving.metrics import (
+    RequestMetrics,
+    RunReport,
+    aggregate_reports,
+    build_report,
+)
+from repro.serving.routers import ROUTERS, Router, make_router, register_router
 from repro.serving.server import ServingSystem
+from repro.serving.stages import (
+    AdmissionStage,
+    BatchComposer,
+    DecodeStream,
+    MemoryPressureStage,
+)
 
 __all__ = [
     "ClusterReport",
@@ -31,6 +45,15 @@ __all__ = [
     "SystemView",
     "RequestMetrics",
     "RunReport",
+    "aggregate_reports",
     "build_report",
+    "ROUTERS",
+    "Router",
+    "make_router",
+    "register_router",
     "ServingSystem",
+    "AdmissionStage",
+    "BatchComposer",
+    "DecodeStream",
+    "MemoryPressureStage",
 ]

@@ -4,33 +4,35 @@ The paper argues TokenFlow's single-node scheduling generalises to
 multi-node serving by adding a dispatch layer above per-node
 schedulers.  This module implements that layer: N independent
 :class:`~repro.serving.server.ServingSystem` instances share one
-discrete-event engine, and a dispatcher routes each arriving request
-to an instance.  Each node then runs its own buffer-aware scheduler
-and hierarchical KV manager exactly as in the single-node system.
+discrete-event engine, and a pluggable :class:`~repro.serving.routers.Router`
+places each arriving request on an instance.  Each node then runs its
+own buffer-aware scheduler and hierarchical KV manager exactly as in
+the single-node system.
 
-Dispatch policies:
-
-* ``round_robin`` — arrival order striping.
-* ``least_loaded`` — fewest unfinished requests (default).
-* ``least_queued`` — shortest waiting+prefill queue at arrival.
+Routing policies live in :mod:`repro.serving.routers` (``round_robin``,
+``least_loaded``, ``least_queued``, ``buffer_aware``,
+``session_affinity``); cluster-level metrics reuse the single-node
+report aggregation from :func:`repro.serving.metrics.aggregate_reports`.
 
 The inter-node KV layer the paper sketches (migrating offloaded
 context between nodes over RDMA) is intentionally out of scope: the
-dispatcher never moves a request after placement, which matches
-today's deployed LLM routers (e.g. Llumnix-style rebalancing is
-future work).
+router never moves a request after placement, which matches today's
+deployed LLM routers (e.g. Llumnix-style rebalancing is future work).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence, Union
 
 from repro.serving.config import ServingConfig
-from repro.serving.metrics import RunReport, build_report
+from repro.serving.metrics import aggregate_reports
+from repro.serving.routers import Router, make_router
 from repro.serving.server import ServingSystem
 from repro.sim.engine import SimEngine
 
+# The pre-router dispatch policies, kept as the stable "core" set
+# (``repro.serving.routers.ROUTERS`` is the full registry).
 DISPATCH_POLICIES = ("round_robin", "least_loaded", "least_queued")
 
 
@@ -44,35 +46,36 @@ class ClusterReport:
     total_tokens: int = 0
     throughput: float = 0.0
     effective_throughput: float = 0.0
+    qos: float = 0.0
     ttft_mean: float = 0.0
+    ttft_p50: float = 0.0
     ttft_p99: float = 0.0
     stall_total: float = 0.0
     preemptions: int = 0
 
 
 class ServingCluster:
-    """N serving instances + an arrival dispatcher on one engine."""
+    """N serving instances + an arrival router on one engine."""
 
     def __init__(
         self,
         configs: Sequence,
         scheduler_factory: Callable[[], object],
-        dispatch: str = "least_loaded",
+        dispatch: Union[str, Router] = "least_loaded",
         engine: Optional[SimEngine] = None,
+        router: Optional[Union[str, Router]] = None,
     ) -> None:
         if not configs:
             raise ValueError("need at least one instance config")
-        if dispatch not in DISPATCH_POLICIES:
-            raise ValueError(
-                f"dispatch must be one of {DISPATCH_POLICIES}, got {dispatch!r}"
-            )
+        # ``router`` is the primary spelling; ``dispatch`` is kept for
+        # the original three-policy API and older call sites.
+        self.router = make_router(router if router is not None else dispatch)
+        self.dispatch = self.router.name
         self.engine = engine if engine is not None else SimEngine()
-        self.dispatch = dispatch
         self.instances = [
             ServingSystem(config, scheduler_factory(), engine=self.engine)
             for config in configs
         ]
-        self._rr_next = 0
         self.placements: dict = {}   # req_id -> instance index
 
     @classmethod
@@ -80,35 +83,19 @@ class ServingCluster:
         cls,
         n_instances: int,
         scheduler_factory: Callable[[], object],
-        dispatch: str = "least_loaded",
+        dispatch: Union[str, Router] = "least_loaded",
+        router: Optional[Union[str, Router]] = None,
         **config_kwargs,
     ) -> "ServingCluster":
         """Build ``n_instances`` identical nodes."""
         if n_instances <= 0:
             raise ValueError("n_instances must be positive")
         configs = [ServingConfig(**config_kwargs) for _ in range(n_instances)]
-        return cls(configs, scheduler_factory, dispatch=dispatch)
+        return cls(configs, scheduler_factory, dispatch=dispatch, router=router)
 
     # --- dispatch -------------------------------------------------------------
-    def _pick_instance(self) -> int:
-        if self.dispatch == "round_robin":
-            idx = self._rr_next
-            self._rr_next = (self._rr_next + 1) % len(self.instances)
-            return idx
-        if self.dispatch == "least_loaded":
-            return min(
-                range(len(self.instances)),
-                key=lambda i: self.instances[i].unfinished,
-            )
-        # least_queued
-        return min(
-            range(len(self.instances)),
-            key=lambda i: len(self.instances[i].waiting)
-            + len(self.instances[i].prefill_queue),
-        )
-
     def submit(self, requests: Sequence) -> None:
-        """Register arrivals; each is dispatched at its arrival time."""
+        """Register arrivals; each is routed at its arrival time."""
         for request in requests:
             if request.arrival_time < self.engine.now():
                 raise ValueError(
@@ -121,11 +108,11 @@ class ServingCluster:
             )
 
     def _dispatch(self, request) -> None:
-        idx = self._pick_instance()
+        idx = self.router.select(self.instances, request)
         self.placements[request.req_id] = idx
         self.instances[idx].submit([request])
 
-    # --- running / reporting -----------------------------------------------------
+    # --- running / reporting --------------------------------------------------
     def run(self, until: Optional[float] = None) -> float:
         return self.engine.run(until=until)
 
@@ -134,28 +121,29 @@ class ServingCluster:
         return sum(instance.unfinished for instance in self.instances)
 
     def report(self) -> ClusterReport:
-        """Aggregate per-instance reports into cluster totals."""
+        """Aggregate per-instance reports into cluster totals.
+
+        Aggregation reuses the single-node report builder
+        (:func:`repro.serving.metrics.aggregate_reports`), so the
+        cluster's TTFT percentiles, throughput, stalls, and QoS follow
+        exactly the single-node definitions.
+        """
         reports = [instance.report() for instance in self.instances]
-        cluster = ClusterReport(per_instance=reports)
-        ttfts: list = []
-        makespan = max((r.makespan for r in reports if r.n_requests), default=1e-9)
-        for report in reports:
-            cluster.n_requests += report.n_requests
-            cluster.n_finished += report.n_finished
-            cluster.total_tokens += report.total_tokens
-            cluster.effective_throughput += report.effective_tokens / makespan
-            cluster.stall_total += report.stall_total
-            cluster.preemptions += report.preemptions
-            ttfts.extend(
-                m.ttft for m in report.per_request if m.ttft is not None
-            )
-        cluster.throughput = cluster.total_tokens / makespan
-        if ttfts:
-            ttfts.sort()
-            cluster.ttft_mean = sum(ttfts) / len(ttfts)
-            idx = min(len(ttfts) - 1, int(round(0.99 * (len(ttfts) - 1))))
-            cluster.ttft_p99 = ttfts[idx]
-        return cluster
+        total = aggregate_reports(reports)
+        return ClusterReport(
+            per_instance=reports,
+            n_requests=total.n_requests,
+            n_finished=total.n_finished,
+            total_tokens=total.total_tokens,
+            throughput=total.throughput,
+            effective_throughput=total.effective_throughput,
+            qos=total.qos,
+            ttft_mean=total.ttft_mean,
+            ttft_p50=total.ttft_p50,
+            ttft_p99=total.ttft_p99,
+            stall_total=total.stall_total,
+            preemptions=total.preemptions,
+        )
 
     def placement_counts(self) -> list:
         """Requests routed to each instance (load-balance check)."""

@@ -9,7 +9,7 @@ score of Eq. 2, stall/rebuffer totals, and preemption/IO counters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.analysis.stats import summarize
 from repro.core.qos import (
@@ -145,6 +145,47 @@ def build_report(
         if request.is_finished:
             n_finished += 1
 
+    return _assemble_report(
+        system=system,
+        per_request=per_request,
+        makespan=makespan,
+        total_tokens=total_tokens,
+        effective_total=effective_total,
+        qos_terms=qos_terms,
+        ttfts=ttfts,
+        stalls=stalls,
+        preemptions=preemptions,
+        n_finished=n_finished,
+        timeline=timeline,
+        executor_stats=executor_stats,
+        kv_stats=kv_stats,
+        scheduler_stats=scheduler_stats,
+    )
+
+
+def _assemble_report(
+    system: str,
+    per_request: list,
+    makespan: float,
+    total_tokens: int,
+    effective_total: float,
+    qos_terms: list,
+    ttfts: list,
+    stalls: list,
+    preemptions: int,
+    n_finished: int,
+    timeline: Optional[list] = None,
+    executor_stats: Optional[dict] = None,
+    kv_stats: Optional[dict] = None,
+    scheduler_stats: Optional[dict] = None,
+) -> RunReport:
+    """Fold accumulated per-request terms into a :class:`RunReport`.
+
+    Shared by the single-node :func:`build_report` and the cluster
+    aggregation in :func:`aggregate_reports`, so cluster-level
+    throughput/TTFT/stall numbers use exactly the single-node formulas
+    (same percentile definition, same makespan flooring).
+    """
     makespan = max(makespan, 1e-9)
     ttft_summary = summarize(ttfts) if ttfts else None
     return RunReport(
@@ -168,4 +209,30 @@ def build_report(
         executor_stats=executor_stats if executor_stats is not None else {},
         kv_stats=kv_stats if kv_stats is not None else {},
         scheduler_stats=scheduler_stats if scheduler_stats is not None else {},
+    )
+
+
+def aggregate_reports(reports: Sequence, system: str = "cluster") -> RunReport:
+    """Fold per-instance :class:`RunReport` objects into one aggregate.
+
+    Used by the cluster layer so cluster-level throughput, TTFT
+    percentiles, stall totals and QoS come from the *same* formulas as
+    the single-node report (no duplicated aggregation code).  The
+    cluster makespan is the longest per-instance makespan among
+    instances that served requests — every instance shares one engine
+    clock, so this is the wall of the whole run.
+    """
+    per_request = [m for report in reports for m in report.per_request]
+    makespan = max((r.makespan for r in reports if r.n_requests), default=1e-9)
+    return _assemble_report(
+        system=system,
+        per_request=per_request,
+        makespan=makespan,
+        total_tokens=sum(r.total_tokens for r in reports),
+        effective_total=sum(r.effective_tokens for r in reports),
+        qos_terms=[m.qos_term for m in per_request],
+        ttfts=[m.ttft for m in per_request if m.ttft is not None],
+        stalls=[m.stall_time for m in per_request],
+        preemptions=sum(r.preemptions for r in reports),
+        n_finished=sum(r.n_finished for r in reports),
     )

@@ -1,0 +1,185 @@
+"""Pluggable cluster routing policies (paper §8 dispatch layer).
+
+A :class:`Router` places each arriving request on one of the cluster's
+:class:`~repro.serving.server.ServingSystem` instances.  Policies are
+registered by name in :data:`ROUTERS`, so experiments and scenarios
+select them declaratively (``ScenarioSpec.router = "buffer_aware"``)
+and new policies plug in without touching the cluster loop:
+
+* ``round_robin`` — arrival-order striping.
+* ``least_loaded`` — fewest unfinished requests (default).
+* ``least_queued`` — shortest waiting+prefill queue at arrival.
+* ``buffer_aware`` — smallest aggregate client-buffer deficit: the
+  cluster-level analogue of the paper's buffer-aware scheduler.  Each
+  running request contributes its shortfall against a target buffer;
+  queued/preempted work counts a full target's worth (no buffer yet).
+* ``session_affinity`` — sticky routing by conversation: turns of one
+  session land on the instance that served its first turn (KV reuse /
+  prefix-cache locality), with a fallback policy for fresh sessions.
+
+Every policy is deterministic: ties break on the lowest instance
+index, so identical scenario+seed runs place identically.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Sequence, Type, Union
+
+
+class Router(abc.ABC):
+    """Dispatch policy: pick the instance index for each arrival.
+
+    Routers may keep state (stripe counters, sticky maps); a fresh
+    instance is built per run, so repeated runs of one scenario are
+    independent and deterministic.
+    """
+
+    name: str = "base"
+
+    @abc.abstractmethod
+    def select(self, instances: Sequence, request) -> int:
+        """Return the index in ``instances`` to place ``request`` on."""
+
+
+ROUTERS: Dict[str, Type[Router]] = {}
+
+
+def register_router(cls: Type[Router]) -> Type[Router]:
+    """Class decorator: add a :class:`Router` subclass to the registry."""
+    ROUTERS[cls.name] = cls
+    return cls
+
+
+def make_router(router: Union[str, Router]) -> Router:
+    """Resolve a router name (or pass through an instance)."""
+    if isinstance(router, Router):
+        return router
+    if router not in ROUTERS:
+        raise ValueError(
+            f"router must be one of {sorted(ROUTERS)}, got {router!r}"
+        )
+    return ROUTERS[router]()
+
+
+@register_router
+class RoundRobinRouter(Router):
+    """Arrival-order striping across instances."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select(self, instances: Sequence, request) -> int:
+        idx = self._next
+        self._next = (idx + 1) % len(instances)
+        return idx
+
+
+@register_router
+class LeastLoadedRouter(Router):
+    """Fewest unfinished requests (admitted or not)."""
+
+    name = "least_loaded"
+
+    def select(self, instances: Sequence, request) -> int:
+        return min(
+            range(len(instances)),
+            key=lambda i: instances[i].unfinished,
+        )
+
+
+@register_router
+class LeastQueuedRouter(Router):
+    """Shortest waiting + prefill queue at arrival time."""
+
+    name = "least_queued"
+
+    def select(self, instances: Sequence, request) -> int:
+        return min(
+            range(len(instances)),
+            key=lambda i: len(instances[i].waiting)
+            + len(instances[i].prefill_queue),
+        )
+
+
+@register_router
+class BufferAwareRouter(Router):
+    """Route to the instance with the smallest aggregate buffer deficit.
+
+    The deficit of one instance is how many buffered seconds its
+    resident requests are collectively short of ``target_buffer_s``,
+    plus a full target's worth for every request that has no client
+    buffer yet (waiting / prefilling / preempted / loading).  This is
+    the dispatch-layer counterpart of the paper's buffer-aware
+    scheduling objective: new load goes where client buffers are
+    healthiest, so a node with thin buffers is not pushed into stalls.
+    """
+
+    name = "buffer_aware"
+
+    def __init__(self, target_buffer_s: float = 1.0) -> None:
+        if target_buffer_s <= 0:
+            raise ValueError("target_buffer_s must be positive")
+        self.target_buffer_s = target_buffer_s
+
+    def instance_deficit(self, instance) -> float:
+        """Aggregate buffered-seconds shortfall of one instance.
+
+        Requests that have no client buffer yet — waiting, prefilling,
+        preempted, or dispatched-but-not-yet-arrived (``unfinished``
+        minus the decode batch) — each count a full target: they are
+        pure future demand.
+        """
+        target = self.target_buffer_s
+        now = instance.engine.now()
+        buffer_seconds = instance.tracker.buffer_seconds
+        deficit = 0.0
+        for request in instance.running:
+            shortfall = target - buffer_seconds(request.req_id, now)
+            if shortfall > 0.0:
+                deficit += shortfall
+        pending = instance.unfinished - len(instance.running)
+        return deficit + target * pending
+
+    def select(self, instances: Sequence, request) -> int:
+        # Deficit first; among equally-healthy nodes, least total load;
+        # then lowest index (full determinism).
+        return min(
+            range(len(instances)),
+            key=lambda i: (
+                self.instance_deficit(instances[i]),
+                instances[i].unfinished,
+                i,
+            ),
+        )
+
+
+@register_router
+class SessionAffinityRouter(Router):
+    """Sticky routing: all turns of a session go to one instance.
+
+    Session identity is the request's ``session_id`` (set by the
+    session drivers and session workload builders); standalone requests
+    (``session_id is None``) are placed individually by the ``base``
+    policy.  Fresh sessions are placed by the base policy too, and
+    later turns reuse the recorded placement — modelling KV/prefix-cache
+    locality for multi-turn conversations.
+    """
+
+    name = "session_affinity"
+
+    def __init__(self, base: Union[str, Router] = "least_loaded") -> None:
+        self.base = make_router(base)
+        self.assignments: Dict[int, int] = {}
+
+    def select(self, instances: Sequence, request) -> int:
+        session = getattr(request, "session_id", None)
+        if session is None:
+            return self.base.select(instances, request)
+        idx = self.assignments.get(session)
+        if idx is None:
+            idx = self.base.select(instances, request)
+            self.assignments[session] = idx
+        return idx

@@ -18,11 +18,15 @@ Mirrors the paper's Figure 3/4 workflow on the discrete-event engine:
 The loop never decodes "for" a policy: all admission, preemption and
 resumption comes from the pluggable scheduler, so baselines and
 TokenFlow run on identical machinery.
+
+:class:`ServingSystem` itself is a slim shell: the work is done by the
+four stages in :mod:`repro.serving.stages` (admission, batch
+composition, memory pressure, decode streaming), invoked here in the
+exact sequence the pre-split monolith executed — see ARCHITECTURE.md.
 """
 
 from __future__ import annotations
 
-import heapq
 from typing import Optional
 
 from repro.core.offload import RequestOffloadManager
@@ -30,13 +34,18 @@ from repro.core.qos import QoSParams
 from repro.core.tracker import RequestTracker
 from repro.gpu.executor import LLMExecutor
 from repro.gpu.latency import LatencyModel
-from repro.memory.blocks import OutOfMemory
 from repro.memory.kv_manager import HierarchicalKVManager
 from repro.serving.config import ServingConfig
 from repro.serving.interface import BaseScheduler, SystemView
 from repro.serving.metrics import RunReport, build_report
+from repro.serving.stages import (
+    AdmissionStage,
+    BatchComposer,
+    DecodeStream,
+    MemoryPressureStage,
+)
 from repro.sim.engine import SimEngine
-from repro.workload.request import Request, RequestState
+from repro.workload.request import RequestState
 
 
 class ServingSystem:
@@ -76,13 +85,32 @@ class ServingSystem:
         self.kv.on_memory_freed = self._kick
         self.tracker = RequestTracker(record_traces=config.record_token_traces)
 
-        # Request queues (state-machine mirrors).
+        # Request queues (state-machine mirrors, shared with stages and
+        # the offload manager).
         self.waiting: list = []
         self.prefill_queue: list = []
         self.running: list = []
         self.preempted: list = []
         self.loading: list = []
         self.finished: list = []
+
+        self._busy = False            # an iteration is in flight
+        self._in_scheduler = False    # re-entrancy guard for _kick
+        self._unfinished = 0
+        self.timeline: list = []      # (t, queued, running) samples
+        # Timeline downsampling: once the sample list hits the cap it
+        # is decimated 2:1 and the sampling stride doubles, so long
+        # runs keep a bounded, evenly-thinned record.
+        self._timeline_stride = 1
+        self._timeline_pending = 0
+
+        # Stages (see repro.serving.stages).  Order matters only for
+        # construction dependencies; the loop sequence is fixed in
+        # _start_iteration below.
+        self.memory = MemoryPressureStage(self)
+        self.composer = BatchComposer(self, self.memory)
+        self.decode_stream = DecodeStream(self, self.memory)
+        self.admission = AdmissionStage(self)
 
         self.offload = RequestOffloadManager(
             engine=self.engine,
@@ -94,73 +122,15 @@ class ServingSystem:
             preempted=self.preempted,
             loading=self.loading,
             on_state_change=self._kick,
-            on_swap_observed=self._observe_swap,
+            on_swap_observed=self.memory.observe_swap,
         )
 
-        self._chunked = config.chunked_prefill or getattr(
-            scheduler, "wants_chunked_prefill", False
-        )
-        self._busy = False            # an iteration is in flight
-        self._in_scheduler = False    # re-entrancy guard for _kick
-        self._tick_due = False
-        self._tick_scheduled = False
-        self._unfinished = 0
-        self.timeline: list = []      # (t, queued, running) samples
-        # Timeline downsampling: once the sample list hits the cap it
-        # is decimated 2:1 and the sampling stride doubles, so long
-        # runs keep a bounded, evenly-thinned record.
-        self._timeline_stride = 1
-        self._timeline_pending = 0
-        self._last_token_time = 0.0
-        # Per-iteration caches (reset at each iteration start).
-        self._iter_min_buffer: Optional[float] = None
-        self._decodes_since_prefill = 0
-        self._prefill_defer_cap = 16      # progress guarantee for prefill
-        self._prefill_defer_margin = 0.05  # seconds of buffer slack required
-        # Amortised per-token prefill cost, for dynamic partitioning.
-        self._per_token_prefill_s = self.latency.prefill_time([2048]) / 2048.0
-
-    # --- submission ------------------------------------------------------------
+    # --- submission -----------------------------------------------------------
     def submit(self, requests: list) -> None:
         """Register future arrivals with the event engine."""
-        for request in requests:
-            if request.arrival_time < self.engine.now():
-                raise ValueError(
-                    f"request {request.req_id} arrives in the past "
-                    f"({request.arrival_time} < {self.engine.now()})"
-                )
-            self._unfinished += 1
-            self.engine.call_at(
-                request.arrival_time,
-                lambda r=request: self._on_arrival(r),
-                label=f"arrival:{request.req_id}",
-            )
+        self.admission.submit(requests)
 
-    def _on_arrival(self, request: Request) -> None:
-        if self.tracer is not None:
-            self.tracer.record(self.engine.now(), "request", "arrive",
-                               req_id=request.req_id)
-        self.tracker.register(request)
-        self.kv.register(request.req_id)
-        self.waiting.append(request)
-        self._ensure_tick_scheduled()
-        self._kick()
-
-    # --- scheduler ticks ----------------------------------------------------------
-    def _ensure_tick_scheduled(self) -> None:
-        interval = self.scheduler.tick_interval
-        if interval is None or self._tick_scheduled or self._unfinished == 0:
-            return
-        self._tick_scheduled = True
-        self.engine.call_after(interval, self._on_tick_event, label="sched-tick")
-
-    def _on_tick_event(self) -> None:
-        self._tick_scheduled = False
-        self._tick_due = True
-        self._kick()
-        self._ensure_tick_scheduled()
-
-    # --- the loop ----------------------------------------------------------------
+    # --- the loop --------------------------------------------------------------
     def _kick(self) -> None:
         """Try to start the next iteration (idempotent, re-entrancy safe)."""
         if self._busy or self._in_scheduler:
@@ -173,8 +143,9 @@ class ServingSystem:
 
     def _start_iteration(self) -> None:
         overhead = 0.0
-        if self._tick_due:
-            self._tick_due = False
+        admission = self.admission
+        if admission.tick_due:
+            admission.tick_due = False
             if self.rate_controller is not None:
                 self.rate_controller.adjust(self)
             decision = self.scheduler.on_tick(self.view())
@@ -187,272 +158,23 @@ class ServingSystem:
         # Planning below shares one buffer snapshot: the min-buffer
         # pass and all tracker queries are computed at most once per
         # iteration for this instant.
-        self._iter_min_buffer = None
-        entries = self._plan_prefill()
-        if entries and self._should_defer_prefill(entries):
+        composer = self.composer
+        composer.iter_min_buffer = None
+        entries = composer.plan_prefill()
+        if entries and composer.should_defer_prefill(entries):
             entries = []
         if entries:
-            self._decodes_since_prefill = 0
-            self._run_prefill(entries, overhead)
+            composer.decodes_since_prefill = 0
+            self.decode_stream.run_prefill(entries, overhead)
             return
-        batch = self._plan_decode()
+        batch = composer.plan_decode()
         if batch:
-            self._decodes_since_prefill += 1
-            self._run_decode(batch, overhead)
+            composer.decodes_since_prefill += 1
+            self.decode_stream.run_decode(batch, overhead)
             return
         self._sample_timeline()
 
-    def _min_running_buffer(self) -> float:
-        """Smallest running-request buffer (seconds) at the current
-        instant, computed once per iteration and shared between the
-        prefill budget and the defer decision."""
-        cached = self._iter_min_buffer
-        if cached is None:
-            cached = self.tracker.min_buffer_seconds(
-                self.running, self.engine.now()
-            )
-            self._iter_min_buffer = cached
-        return cached
-
-    def _prefill_token_budget(self) -> int:
-        """Per-iteration prefill budget, dynamically partitioned (§4.2.3).
-
-        For buffer-aware schedulers the budget shrinks so the prefill
-        iteration fits inside the running batch's smallest buffer —
-        prefills then never stall an active stream.  A floor keeps
-        prefill progressing even when every buffer is thin (the defer
-        cap bounds how often that floor is exercised).
-        """
-        budget = self.config.max_prefill_tokens
-        if not getattr(self.scheduler, "decode_priority_aware", False) or not self.running:
-            return budget
-        slack = self._min_running_buffer() - self._prefill_defer_margin
-        dyn = int(slack / self._per_token_prefill_s) if slack > 0 else 0
-        floor = min(256, budget)
-        return max(floor, min(budget, dyn))
-
-    def _should_defer_prefill(self, entries: list) -> bool:
-        """Buffer-aware prefill/decode interleaving (§4.2.3).
-
-        Schedulers that opt in (``decode_priority_aware``) defer a
-        prefill iteration when some running request's buffer would
-        drain during it — latency-sensitive decodes bypass the prefill
-        batch.  A progress cap guarantees prefill is never starved.
-        """
-        if not getattr(self.scheduler, "decode_priority_aware", False):
-            return False
-        if not self.running:
-            return False
-        if self._decodes_since_prefill >= self._prefill_defer_cap:
-            return False
-        plan = self.executor.plan_prefill(
-            [(request.req_id, chunk) for request, chunk in entries]
-        )
-        return self._min_running_buffer() < plan.duration + self._prefill_defer_margin
-
-    # --- prefill path -----------------------------------------------------------
-    def _plan_prefill(self) -> list:
-        """Pick (request, chunk_tokens) pairs for the next prefill.
-
-        Fresh requests reserve prompt+1 tokens (room for the first
-        output token); recompute resumes reserve their full context.
-        FCFS within the prefill queue; head-of-line blocks on memory,
-        which is exactly the SGLang behaviour TokenFlow's admission
-        control avoids triggering.
-        """
-        entries: list = []
-        queue = self.prefill_queue
-        if not queue:
-            # Nothing to prefill: skip the budget computation (and its
-            # min-buffer pass) entirely — the steady-decode common case.
-            return entries
-        budget = self._prefill_token_budget()
-        if budget <= 0:
-            return entries
-        if len(queue) > 1 and getattr(self.scheduler, "decode_priority_aware", False):
-            # Recompute-resumes have live consumers draining a buffer;
-            # they bypass fresh admissions (§4.2.3 latency-sensitive
-            # bypass).  Fresh requests keep FCFS order among themselves.
-            queue = sorted(
-                queue, key=lambda r: (r.generated == 0, r.arrival_time)
-            )
-        for request in queue:
-            if budget <= 0:
-                break
-            target = request.context_len
-            if request.prefill_progress == 0:
-                reserve = target + (1 if request.generated == 0 else 0)
-                try:
-                    self.kv.allocate_for_prefill(request.req_id, reserve)
-                except OutOfMemory:
-                    break
-            remaining = target - request.prefill_progress
-            if remaining <= 0:
-                continue
-            chunk = min(remaining, budget)
-            if self._chunked:
-                chunk = min(chunk, self.config.prefill_chunk_size)
-            entries.append((request, chunk))
-            budget -= chunk
-            if self._chunked:
-                break  # one chunk per iteration keeps decode interleaved
-        return entries
-
-    def _run_prefill(self, entries: list, overhead: float) -> None:
-        result = self.executor.plan_prefill(
-            [(request.req_id, chunk) for request, chunk in entries]
-        )
-        duration = result.duration + overhead
-        now = self.engine.now()
-        self.kv.drain_writes(now, now + duration, priority=self._write_priority_at(now))
-        if self.tracer is not None:
-            self.tracer.record(now, "executor", "prefill_start",
-                               tokens=result.tokens, batch=len(entries),
-                               duration=duration)
-        self._busy = True
-        self.engine.call_at(
-            now + duration,
-            lambda: self._complete_prefill(result, entries, duration),
-            label="prefill-done",
-        )
-
-    def _complete_prefill(self, result, entries: list, duration: float) -> None:
-        now = self.engine.now()
-        for request, chunk in entries:
-            if request.state is not RequestState.PREFILLING:
-                continue
-            request.prefill_progress += chunk
-            target = request.context_len
-            if request.prefill_progress >= target:
-                self.kv.on_prefill_complete(request.req_id, target)
-                self.prefill_queue.remove(request)
-                request.transition(RequestState.RUNNING)
-                self.running.append(request)
-                if request.generated == 0:
-                    # Prefill produces the first output token.
-                    self._emit_token(request, now)
-        if hasattr(self.scheduler, "observe_prefill"):
-            self.scheduler.observe_prefill(result.tokens, duration)
-        self.executor.commit(result)
-        self._sample_timeline()
-        self._busy = False
-        self._kick()
-
-    # --- decode path ----------------------------------------------------------------
-    def _plan_decode(self) -> list:
-        """Assemble the decode batch, resolving memory pressure first."""
-        if not self.running:
-            return []
-        if len(self.running) > self.config.max_batch and getattr(
-            self.scheduler, "decode_priority_aware", False
-        ):
-            # More residents than decode slots: serve the most starved.
-            # nsmallest == sorted(...)[:max_batch] (it is stable), but
-            # only does O(n log k) work.
-            now = self.engine.now()
-            tracker = self.tracker
-            batch = heapq.nsmallest(
-                self.config.max_batch,
-                self.running,
-                key=lambda r: tracker.buffer_seconds(r.req_id, now),
-            )
-        else:
-            batch = list(self.running[: self.config.max_batch])
-        # Growth blocks are a function of each request's own KV record,
-        # so one computation serves both the deficit check and the
-        # batch-fitting pass (preempting a victim never changes another
-        # request's growth).
-        growth_of = self.kv.decode_growth_blocks
-        growth = {r.req_id: growth_of(r.req_id) for r in batch}
-        deficit = max(0, sum(growth.values()) - self.kv.gpu_free_blocks())
-        if deficit > 0:
-            victims = self.scheduler.select_oom_victims(self.view(), deficit)
-            for victim in victims:
-                if victim in self.running and victim.state is RequestState.RUNNING:
-                    self.offload.preempt(victim)
-            batch = [r for r in batch if r.state is RequestState.RUNNING]
-        # Greedily keep the prefix of the batch that fits.
-        fitted: list = []
-        free = self.kv.gpu_free_blocks()
-        for request in batch:
-            need = growth[request.req_id]
-            if need > free:
-                continue
-            free -= need
-            fitted.append(request)
-        return fitted
-
-    def _run_decode(self, batch: list, overhead: float) -> None:
-        result = self.executor.plan_decode(
-            # context_len inlined (prompt + generated): this comprehension
-            # runs once per batch member per iteration.
-            [(request.req_id, request.prompt_len + request.generated)
-             for request in batch]
-        )
-        duration = result.duration + overhead
-        now = self.engine.now()
-        self.kv.drain_writes(now, now + duration, priority=self._write_priority_at(now))
-        if self.tracer is not None:
-            self.tracer.record(now, "executor", "decode_start",
-                               batch=len(batch), duration=duration)
-        self._busy = True
-        self.engine.call_at(
-            now + duration,
-            lambda: self._complete_decode(result, batch),
-            label="decode-done",
-        )
-
-    def _complete_decode(self, result, batch: list) -> None:
-        # The per-token fast path: this loop runs once per generated
-        # token across the whole simulation, so _emit_token /
-        # deliver_token are inlined (same operations, same order).
-        now = self.engine.now()
-        on_decode_token = self.kv.on_decode_token
-        entries = self.tracker.entries_by_id
-        invalidate = self.tracker.occupancy_invalidator
-        running = RequestState.RUNNING
-        for request in batch:
-            if request.state is not running:
-                continue
-            req_id = request.req_id
-            on_decode_token(req_id)
-            request.record_token(now)
-            entries[req_id].buffer.deliver(now)
-            invalidate(req_id, None)
-            if now > self._last_token_time:
-                self._last_token_time = now
-            if request.generated >= request.output_len:
-                self._finish(request, now)
-        self.executor.commit(result)
-        self._sample_timeline()
-        self._busy = False
-        self._kick()
-
-    # --- token delivery / completion ------------------------------------------------
-    def _emit_token(self, request: Request, now: float) -> None:
-        # NOTE: _complete_decode inlines this exact sequence (delivery,
-        # last-token-time update, finish check) for the per-token hot
-        # loop — any semantic change here must be mirrored there.
-        self.tracker.deliver_token(request.req_id, now)
-        if now > self._last_token_time:
-            self._last_token_time = now
-        if request.generated >= request.output_len:
-            self._finish(request, now)
-
-    def _finish(self, request: Request, now: float) -> None:
-        if self.tracer is not None:
-            self.tracer.record(now, "request", "finish", req_id=request.req_id)
-        request.transition(RequestState.FINISHED)
-        if request in self.running:
-            self.running.remove(request)
-        self.kv.release(request.req_id)
-        self.tracker.mark_finished(request.req_id, now)
-        self.finished.append(request)
-        self._unfinished -= 1
-        if self.on_request_finished is not None:
-            self.on_request_finished(request)
-
-    # --- cancellation -------------------------------------------------------------------
+    # --- cancellation ----------------------------------------------------------
     def cancel(self, req_id: int) -> bool:
         """Abort a live request (client disconnect).
 
@@ -485,19 +207,7 @@ class ServingSystem:
             when, lambda: self.cancel(req_id), label=f"cancel:{req_id}"
         )
 
-    # --- glue -------------------------------------------------------------------------
-    def _write_priority_at(self, now: float):
-        """Chunked-write ordering: fatter buffers sync first (§5.2).
-
-        Returns a one-instant priority callable (binds ``now`` once so
-        the per-record calls stay flat dictionary work)."""
-        buffer_seconds = self.tracker.buffer_seconds
-        return lambda req_id: buffer_seconds(req_id, now)
-
-    def _observe_swap(self, tau_evict: float, tau_load: float) -> None:
-        if hasattr(self.scheduler, "observe_swap_latency"):
-            self.scheduler.observe_swap_latency(tau_evict, tau_load)
-
+    # --- glue ------------------------------------------------------------------
     def _sample_timeline(self) -> None:
         """Record a (t, queued, running) sample, downsampling over time.
 
@@ -541,7 +251,7 @@ class ServingSystem:
             snapshot=self.tracker.snapshot(now),
         )
 
-    # --- run + report ------------------------------------------------------------------
+    # --- run + report ----------------------------------------------------------
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Drain the event loop; returns the final simulation time."""
         return self.engine.run(until=until, max_events=max_events)
@@ -554,7 +264,7 @@ class ServingSystem:
         first = self.tracker.first_arrival()
         if first is None:
             return 0.0
-        return max(self._last_token_time - first, 1e-9)
+        return max(self.decode_stream.last_token_time - first, 1e-9)
 
     def report(self) -> RunReport:
         """Build the aggregate :class:`RunReport` for this run."""

@@ -1,0 +1,435 @@
+"""Composable serving-loop stages.
+
+The serving loop is four cooperating stages coordinated by the slim
+:class:`~repro.serving.server.ServingSystem` shell:
+
+* :class:`AdmissionStage` — arrivals into the tracker/KV/waiting queue
+  plus the scheduler tick clock;
+* :class:`BatchComposer` — plans each iteration (prefill entries or a
+  decode batch, including the §4.2.3 buffer-aware interleaving);
+* :class:`MemoryPressureStage` — resolves decode-time KV deficits via
+  scheduler-selected victims and orders chunked KV writes (§5.2);
+* :class:`DecodeStream` — executes iterations and streams generated
+  tokens into per-request client buffers.
+
+The shell owns the shared state (queues, engine, KV manager, tracker,
+executor) so schedulers, the offload manager, and tests keep their
+existing view; each stage binds the hot references once at
+construction so the split adds no per-token indirection.
+
+Event ordering is *identical* to the pre-split monolith: the shell
+invokes the stages in the exact sequence the old ``ServingSystem``
+executed inline, so golden metrics and the perf-parity harness hold
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Optional
+
+from repro.memory.blocks import OutOfMemory
+from repro.workload.request import Request, RequestState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.server import ServingSystem
+
+
+class AdmissionStage:
+    """Arrivals -> tracker/KV registration -> waiting queue, plus the
+    scheduler tick clock (the paper's Δt)."""
+
+    def __init__(self, system: "ServingSystem") -> None:
+        self.system = system
+        self.engine = system.engine
+        self.scheduler = system.scheduler
+        self.tracker = system.tracker
+        self.kv = system.kv
+        self.waiting = system.waiting
+        # Tick state: a tick is *scheduled* on the engine and becomes
+        # *due* when it fires; the decision is applied at the next
+        # iteration boundary (real systems never preempt mid-kernel).
+        self.tick_due = False
+        self._tick_scheduled = False
+
+    def submit(self, requests: list) -> None:
+        """Register future arrivals with the event engine."""
+        system = self.system
+        engine = self.engine
+        for request in requests:
+            if request.arrival_time < engine.now():
+                raise ValueError(
+                    f"request {request.req_id} arrives in the past "
+                    f"({request.arrival_time} < {engine.now()})"
+                )
+            system._unfinished += 1
+            engine.call_at(
+                request.arrival_time,
+                lambda r=request: self.on_arrival(r),
+                label=f"arrival:{request.req_id}",
+            )
+
+    def on_arrival(self, request: Request) -> None:
+        system = self.system
+        if system.tracer is not None:
+            system.tracer.record(self.engine.now(), "request", "arrive",
+                                 req_id=request.req_id)
+        self.tracker.register(request)
+        self.kv.register(request.req_id)
+        self.waiting.append(request)
+        self.ensure_tick_scheduled()
+        system._kick()
+
+    def ensure_tick_scheduled(self) -> None:
+        interval = self.scheduler.tick_interval
+        if interval is None or self._tick_scheduled or self.system._unfinished == 0:
+            return
+        self._tick_scheduled = True
+        self.engine.call_after(interval, self._on_tick_event, label="sched-tick")
+
+    def _on_tick_event(self) -> None:
+        self._tick_scheduled = False
+        self.tick_due = True
+        self.system._kick()
+        self.ensure_tick_scheduled()
+
+
+class BatchComposer:
+    """Plans one iteration: a prefill batch or the decode batch.
+
+    Holds the per-iteration planning state (shared min-buffer memo,
+    prefill-defer progress counter, dynamic prefill budget) and the
+    §4.2.3 buffer-aware prefill/decode interleaving.
+    """
+
+    def __init__(self, system: "ServingSystem", memory: "MemoryPressureStage") -> None:
+        self.system = system
+        self.memory = memory
+        self.engine = system.engine
+        self.scheduler = system.scheduler
+        self.tracker = system.tracker
+        self.kv = system.kv
+        self.executor = system.executor
+        self.config = system.config
+        self.running = system.running
+        self.prefill_queue = system.prefill_queue
+        self.chunked = system.config.chunked_prefill or getattr(
+            system.scheduler, "wants_chunked_prefill", False
+        )
+        # Per-iteration cache (reset by the shell at iteration start).
+        self.iter_min_buffer: Optional[float] = None
+        self.decodes_since_prefill = 0
+        self.prefill_defer_cap = 16       # progress guarantee for prefill
+        self.prefill_defer_margin = 0.05  # seconds of buffer slack required
+        # Amortised per-token prefill cost, for dynamic partitioning.
+        self.per_token_prefill_s = system.latency.prefill_time([2048]) / 2048.0
+
+    def min_running_buffer(self) -> float:
+        """Smallest running-request buffer (seconds) at the current
+        instant, computed once per iteration and shared between the
+        prefill budget and the defer decision."""
+        cached = self.iter_min_buffer
+        if cached is None:
+            cached = self.tracker.min_buffer_seconds(
+                self.running, self.engine.now()
+            )
+            self.iter_min_buffer = cached
+        return cached
+
+    def prefill_token_budget(self) -> int:
+        """Per-iteration prefill budget, dynamically partitioned (§4.2.3).
+
+        For buffer-aware schedulers the budget shrinks so the prefill
+        iteration fits inside the running batch's smallest buffer —
+        prefills then never stall an active stream.  A floor keeps
+        prefill progressing even when every buffer is thin (the defer
+        cap bounds how often that floor is exercised).
+        """
+        budget = self.config.max_prefill_tokens
+        if not getattr(self.scheduler, "decode_priority_aware", False) or not self.running:
+            return budget
+        slack = self.min_running_buffer() - self.prefill_defer_margin
+        dyn = int(slack / self.per_token_prefill_s) if slack > 0 else 0
+        floor = min(256, budget)
+        return max(floor, min(budget, dyn))
+
+    def should_defer_prefill(self, entries: list) -> bool:
+        """Buffer-aware prefill/decode interleaving (§4.2.3).
+
+        Schedulers that opt in (``decode_priority_aware``) defer a
+        prefill iteration when some running request's buffer would
+        drain during it — latency-sensitive decodes bypass the prefill
+        batch.  A progress cap guarantees prefill is never starved.
+        """
+        if not getattr(self.scheduler, "decode_priority_aware", False):
+            return False
+        if not self.running:
+            return False
+        if self.decodes_since_prefill >= self.prefill_defer_cap:
+            return False
+        plan = self.executor.plan_prefill(
+            [(request.req_id, chunk) for request, chunk in entries]
+        )
+        return self.min_running_buffer() < plan.duration + self.prefill_defer_margin
+
+    def plan_prefill(self) -> list:
+        """Pick (request, chunk_tokens) pairs for the next prefill.
+
+        Fresh requests reserve prompt+1 tokens (room for the first
+        output token); recompute resumes reserve their full context.
+        FCFS within the prefill queue; head-of-line blocks on memory,
+        which is exactly the SGLang behaviour TokenFlow's admission
+        control avoids triggering.
+        """
+        entries: list = []
+        queue = self.prefill_queue
+        if not queue:
+            # Nothing to prefill: skip the budget computation (and its
+            # min-buffer pass) entirely — the steady-decode common case.
+            return entries
+        budget = self.prefill_token_budget()
+        if budget <= 0:
+            return entries
+        if len(queue) > 1 and getattr(self.scheduler, "decode_priority_aware", False):
+            # Recompute-resumes have live consumers draining a buffer;
+            # they bypass fresh admissions (§4.2.3 latency-sensitive
+            # bypass).  Fresh requests keep FCFS order among themselves.
+            queue = sorted(
+                queue, key=lambda r: (r.generated == 0, r.arrival_time)
+            )
+        for request in queue:
+            if budget <= 0:
+                break
+            target = request.context_len
+            if request.prefill_progress == 0:
+                reserve = target + (1 if request.generated == 0 else 0)
+                try:
+                    self.kv.allocate_for_prefill(request.req_id, reserve)
+                except OutOfMemory:
+                    break
+            remaining = target - request.prefill_progress
+            if remaining <= 0:
+                continue
+            chunk = min(remaining, budget)
+            if self.chunked:
+                chunk = min(chunk, self.config.prefill_chunk_size)
+            entries.append((request, chunk))
+            budget -= chunk
+            if self.chunked:
+                break  # one chunk per iteration keeps decode interleaved
+        return entries
+
+    def plan_decode(self) -> list:
+        """Assemble the decode batch, resolving memory pressure first."""
+        if not self.running:
+            return []
+        if len(self.running) > self.config.max_batch and getattr(
+            self.scheduler, "decode_priority_aware", False
+        ):
+            # More residents than decode slots: serve the most starved.
+            # nsmallest == sorted(...)[:max_batch] (it is stable), but
+            # only does O(n log k) work.
+            now = self.engine.now()
+            tracker = self.tracker
+            batch = heapq.nsmallest(
+                self.config.max_batch,
+                self.running,
+                key=lambda r: tracker.buffer_seconds(r.req_id, now),
+            )
+        else:
+            batch = list(self.running[: self.config.max_batch])
+        # Growth blocks are a function of each request's own KV record,
+        # so one computation serves both the deficit check and the
+        # batch-fitting pass (preempting a victim never changes another
+        # request's growth).
+        growth_of = self.kv.decode_growth_blocks
+        growth = {r.req_id: growth_of(r.req_id) for r in batch}
+        batch = self.memory.resolve_deficit(batch, growth)
+        # Greedily keep the prefix of the batch that fits.
+        fitted: list = []
+        free = self.kv.gpu_free_blocks()
+        for request in batch:
+            need = growth[request.req_id]
+            if need > free:
+                continue
+            free -= need
+            fitted.append(request)
+        return fitted
+
+
+class MemoryPressureStage:
+    """KV-pressure handling: decode-time deficit resolution and the
+    buffer-ordered chunked write drain (§5.2)."""
+
+    def __init__(self, system: "ServingSystem") -> None:
+        self.system = system
+        self.scheduler = system.scheduler
+        self.tracker = system.tracker
+        self.kv = system.kv
+
+    def resolve_deficit(self, batch: list, growth: dict) -> list:
+        """Preempt scheduler-selected victims until ``batch`` can grow.
+
+        Returns the batch filtered to still-RUNNING members; the
+        caller's greedy fitting pass handles any residual shortfall.
+        """
+        deficit = max(0, sum(growth.values()) - self.kv.gpu_free_blocks())
+        if deficit > 0:
+            system = self.system
+            victims = self.scheduler.select_oom_victims(system.view(), deficit)
+            running = system.running
+            for victim in victims:
+                if victim in running and victim.state is RequestState.RUNNING:
+                    system.offload.preempt(victim)
+            batch = [r for r in batch if r.state is RequestState.RUNNING]
+        return batch
+
+    def write_priority_at(self, now: float):
+        """Chunked-write ordering: fatter buffers sync first (§5.2).
+
+        Returns a one-instant priority callable (binds ``now`` once so
+        the per-record calls stay flat dictionary work)."""
+        buffer_seconds = self.tracker.buffer_seconds
+        return lambda req_id: buffer_seconds(req_id, now)
+
+    def observe_swap(self, tau_evict: float, tau_load: float) -> None:
+        if hasattr(self.scheduler, "observe_swap_latency"):
+            self.scheduler.observe_swap_latency(tau_evict, tau_load)
+
+
+class DecodeStream:
+    """Runs planned iterations on the executor and streams generated
+    tokens into client buffers (the per-token hot path)."""
+
+    def __init__(self, system: "ServingSystem", memory: MemoryPressureStage) -> None:
+        self.system = system
+        self.memory = memory
+        self.engine = system.engine
+        self.scheduler = system.scheduler
+        self.tracker = system.tracker
+        self.kv = system.kv
+        self.executor = system.executor
+        self.running = system.running
+        self.prefill_queue = system.prefill_queue
+        self.finished = system.finished
+        self.last_token_time = 0.0
+
+    # --- prefill path -------------------------------------------------
+    def run_prefill(self, entries: list, overhead: float) -> None:
+        system = self.system
+        result = self.executor.plan_prefill(
+            [(request.req_id, chunk) for request, chunk in entries]
+        )
+        duration = result.duration + overhead
+        now = self.engine.now()
+        self.kv.drain_writes(now, now + duration,
+                             priority=self.memory.write_priority_at(now))
+        if system.tracer is not None:
+            system.tracer.record(now, "executor", "prefill_start",
+                                 tokens=result.tokens, batch=len(entries),
+                                 duration=duration)
+        system._busy = True
+        self.engine.call_at(
+            now + duration,
+            lambda: self.complete_prefill(result, entries, duration),
+            label="prefill-done",
+        )
+
+    def complete_prefill(self, result, entries: list, duration: float) -> None:
+        system = self.system
+        now = self.engine.now()
+        for request, chunk in entries:
+            if request.state is not RequestState.PREFILLING:
+                continue
+            request.prefill_progress += chunk
+            target = request.context_len
+            if request.prefill_progress >= target:
+                self.kv.on_prefill_complete(request.req_id, target)
+                self.prefill_queue.remove(request)
+                request.transition(RequestState.RUNNING)
+                self.running.append(request)
+                if request.generated == 0:
+                    # Prefill produces the first output token.
+                    self.emit_token(request, now)
+        if hasattr(self.scheduler, "observe_prefill"):
+            self.scheduler.observe_prefill(result.tokens, duration)
+        self.executor.commit(result)
+        system._sample_timeline()
+        system._busy = False
+        system._kick()
+
+    # --- decode path --------------------------------------------------
+    def run_decode(self, batch: list, overhead: float) -> None:
+        system = self.system
+        result = self.executor.plan_decode(
+            # context_len inlined (prompt + generated): this comprehension
+            # runs once per batch member per iteration.
+            [(request.req_id, request.prompt_len + request.generated)
+             for request in batch]
+        )
+        duration = result.duration + overhead
+        now = self.engine.now()
+        self.kv.drain_writes(now, now + duration,
+                             priority=self.memory.write_priority_at(now))
+        if system.tracer is not None:
+            system.tracer.record(now, "executor", "decode_start",
+                                 batch=len(batch), duration=duration)
+        system._busy = True
+        self.engine.call_at(
+            now + duration,
+            lambda: self.complete_decode(result, batch),
+            label="decode-done",
+        )
+
+    def complete_decode(self, result, batch: list) -> None:
+        # The per-token fast path: this loop runs once per generated
+        # token across the whole simulation, so emit_token /
+        # deliver_token are inlined (same operations, same order).
+        system = self.system
+        now = self.engine.now()
+        on_decode_token = self.kv.on_decode_token
+        entries = self.tracker.entries_by_id
+        invalidate = self.tracker.occupancy_invalidator
+        running = RequestState.RUNNING
+        for request in batch:
+            if request.state is not running:
+                continue
+            req_id = request.req_id
+            on_decode_token(req_id)
+            request.record_token(now)
+            entries[req_id].buffer.deliver(now)
+            invalidate(req_id, None)
+            if now > self.last_token_time:
+                self.last_token_time = now
+            if request.generated >= request.output_len:
+                self.finish(request, now)
+        self.executor.commit(result)
+        system._sample_timeline()
+        system._busy = False
+        system._kick()
+
+    # --- token delivery / completion ----------------------------------
+    def emit_token(self, request: Request, now: float) -> None:
+        # NOTE: complete_decode inlines this exact sequence (delivery,
+        # last-token-time update, finish check) for the per-token hot
+        # loop — any semantic change here must be mirrored there.
+        self.tracker.deliver_token(request.req_id, now)
+        if now > self.last_token_time:
+            self.last_token_time = now
+        if request.generated >= request.output_len:
+            self.finish(request, now)
+
+    def finish(self, request: Request, now: float) -> None:
+        system = self.system
+        if system.tracer is not None:
+            system.tracer.record(now, "request", "finish",
+                                 req_id=request.req_id)
+        request.transition(RequestState.FINISHED)
+        if request in self.running:
+            self.running.remove(request)
+        self.kv.release(request.req_id)
+        self.tracker.mark_finished(request.req_id, now)
+        self.finished.append(request)
+        system._unfinished -= 1
+        if system.on_request_finished is not None:
+            system.on_request_finished(request)

@@ -8,7 +8,10 @@ runs deterministic without relying on heap tie-breaking accidents.
 Cancellation is lazy in the heap (the entry is discarded when it
 surfaces) but eager in the accounting: :meth:`Event.cancel` notifies
 the owning queue immediately, so ``len(queue)`` / ``pending()`` never
-overcount between a cancel and the eventual pop.
+overcount between a cancel and the eventual pop.  When cancelled
+entries come to dominate the heap (>50 % dead), the queue compacts —
+rebuilding the heap from the live entries — so long cluster runs with
+heavy cancellation keep the heap proportional to the live event count.
 """
 
 from __future__ import annotations
@@ -60,6 +63,10 @@ class Event:
 class EventQueue:
     """Min-heap of events ordered by (time, insertion sequence)."""
 
+    # Compaction threshold: never compact heaps smaller than this (the
+    # O(n) rebuild must stay amortised against real dead-entry volume).
+    _COMPACT_MIN_SIZE = 64
+
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
@@ -76,8 +83,21 @@ class EventQueue:
         return event
 
     def _note_cancelled(self) -> None:
-        """Accounting hook: a live event of ours was just cancelled."""
+        """Accounting hook: a live event of ours was just cancelled.
+
+        Compacts the heap when cancelled entries exceed half of it:
+        each compaction removes >n/2 dead entries and costs O(n), so
+        the rebuild work is amortised O(1) per cancellation, and
+        ordering is untouched (events compare by (time, seq)).
+        """
         self._live -= 1
+        heap = self._heap
+        if (
+            len(heap) >= self._COMPACT_MIN_SIZE
+            and (len(heap) - self._live) * 2 > len(heap)
+        ):
+            self._heap = [event for event in heap if not event.cancelled]
+            heapq.heapify(self._heap)
 
     def pop(self) -> Optional[Event]:
         """Pop the earliest live event, or ``None`` if the queue is empty.

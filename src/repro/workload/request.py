@@ -74,6 +74,8 @@ class Request:
             consumers this is a *reference rate* used purely as a
             scheduling priority signal (paper §8).
         is_agent: True for non-user consumers (reference-rate clients).
+        session_id: conversation this request is a turn of (None for
+            standalone requests).  Session-aware routing keys on it.
     """
 
     req_id: int
@@ -82,6 +84,7 @@ class Request:
     output_len: int
     rate: float
     is_agent: bool = False
+    session_id: Optional[int] = None
 
     # --- runtime state -------------------------------------------------
     state: RequestState = field(default=RequestState.QUEUED)
@@ -156,3 +159,24 @@ class Request:
             f"prompt={self.prompt_len}, out={self.generated}/{self.output_len}, "
             f"rate={self.rate})"
         )
+
+
+def clone_requests(requests) -> list:
+    """Fresh copies of the workload attributes of ``requests``.
+
+    Every comparison runs each system on the *same* workload; cloning
+    gives each run pristine request objects (runtime state is
+    per-system).
+    """
+    return [
+        Request(
+            req_id=r.req_id,
+            arrival_time=r.arrival_time,
+            prompt_len=r.prompt_len,
+            output_len=r.output_len,
+            rate=r.rate,
+            is_agent=r.is_agent,
+            session_id=r.session_id,
+        )
+        for r in requests
+    ]

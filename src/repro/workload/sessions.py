@@ -101,6 +101,7 @@ class SessionDriver:
             prompt_len=spec.prompt_len_at(turn),
             output_len=spec.answer_tokens,
             rate=spec.rate,
+            session_id=spec.session_id,
         )
         self.system.submit([request])
 

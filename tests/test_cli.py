@@ -40,6 +40,59 @@ class TestExperimentCommand:
             assert description
 
 
+class TestScenarioCommands:
+    def test_list_scenarios(self, capsys):
+        assert main(["list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "table1-h200-a" in out
+        assert "cluster-burst-4x" in out
+        assert "bursty-sessions" in out
+
+    def test_run_single_instance(self, capsys):
+        assert main(["run", "table1-h200-a", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "single instance" in out
+        assert "tokenflow" in out
+
+    def test_run_cluster_with_router(self, capsys):
+        code = main([
+            "run", "table1-h200-a", "--scale", "0.05",
+            "--replicas", "4", "--router", "buffer_aware",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4 replicas" in out and "buffer_aware" in out
+        assert "node3" in out
+
+    def test_run_is_deterministic(self, capsys):
+        args = ["run", "table1-h200-a", "--scale", "0.05",
+                "--replicas", "2", "--router", "buffer_aware"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_run_unknown_scenario_fails_cleanly(self, capsys):
+        assert main(["run", "not-a-scenario"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_run_unknown_system_fails_cleanly(self, capsys):
+        code = main(["run", "table1-h200-a", "--scale", "0.05",
+                     "--system", "warp"])
+        assert code == 2
+        assert "unknown system" in capsys.readouterr().err
+
+    def test_run_unknown_router_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table1-h200-a",
+                                       "--router", "warp_drive"])
+
+    def test_selftest_registered(self):
+        args = build_parser().parse_args(["selftest"])
+        assert args.func.__name__ == "cmd_selftest"
+
+
 class TestCompareCommand:
     def test_small_burst_comparison(self, capsys):
         code = main([

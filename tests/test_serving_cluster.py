@@ -4,13 +4,22 @@ import pytest
 
 from repro.core.scheduler import TokenFlowScheduler
 from repro.serving.cluster import DISPATCH_POLICIES, ServingCluster
+from repro.serving.routers import (
+    ROUTERS,
+    BufferAwareRouter,
+    Router,
+    SessionAffinityRouter,
+    make_router,
+    register_router,
+)
 from repro.workload.request import Request
 
 
-def burst(n, prompt=64, output=32, rate=10.0, start=0.0, id_base=0):
+def burst(n, prompt=64, output=32, rate=10.0, start=0.0, id_base=0,
+          session_id=None):
     return [
         Request(req_id=id_base + i, arrival_time=start, prompt_len=prompt,
-                output_len=output, rate=rate)
+                output_len=output, rate=rate, session_id=session_id)
         for i in range(n)
     ]
 
@@ -39,6 +48,22 @@ class TestConstruction:
 
     def test_policies_enumerated(self):
         assert set(DISPATCH_POLICIES) == {"round_robin", "least_loaded", "least_queued"}
+
+    def test_registry_includes_core_and_new_routers(self):
+        assert set(DISPATCH_POLICIES) <= set(ROUTERS)
+        assert {"buffer_aware", "session_affinity"} <= set(ROUTERS)
+
+    def test_router_instance_accepted(self):
+        cluster = ServingCluster.homogeneous(
+            2, TokenFlowScheduler, router=BufferAwareRouter(target_buffer_s=0.5),
+            hardware="h200", model="llama3-8b", mem_frac=0.01, max_batch=8,
+        )
+        assert cluster.dispatch == "buffer_aware"
+        assert cluster.router.target_buffer_s == 0.5
+
+    def test_make_router_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_router("warp_drive")
 
 
 class TestDispatch:
@@ -71,6 +96,76 @@ class TestDispatch:
         cluster.run(until=1.0)
         with pytest.raises(ValueError):
             cluster.submit(burst(1, start=0.5))
+
+
+class TestRouters:
+    def test_buffer_aware_prefers_idle_instance(self):
+        cluster = make_cluster(2, dispatch="buffer_aware")
+        # Load instance 0 with long-running requests first.
+        cluster.submit(burst(6, output=512))
+        cluster.submit(burst(6, output=32, start=0.5, id_base=100))
+        cluster.run(until=10_000.0)
+        assert cluster.unfinished == 0
+        counts = cluster.placement_counts()
+        assert all(count > 0 for count in counts)
+
+    def test_buffer_aware_deficit_counts_pending_work(self):
+        cluster = make_cluster(2, dispatch="buffer_aware")
+        router = cluster.router
+        # Queue work on instance 0 only (pre-arrival: nothing running).
+        cluster.instances[0].submit(burst(4, start=0.0))
+        cluster.run(until=0.0)
+        assert router.instance_deficit(cluster.instances[0]) > \
+            router.instance_deficit(cluster.instances[1])
+
+    def test_session_affinity_sticks_turns_together(self):
+        cluster = make_cluster(3, dispatch="session_affinity")
+        for session in range(6):
+            cluster.submit(burst(
+                3, output=16, start=float(session) * 0.1,
+                id_base=session * 1000, session_id=session,
+            ))
+        cluster.run(until=10_000.0)
+        assert cluster.unfinished == 0
+        for session in range(6):
+            nodes = {
+                cluster.placements[session * 1000 + turn] for turn in range(3)
+            }
+            assert len(nodes) == 1
+
+    def test_session_affinity_standalone_requests_use_base_policy(self):
+        cluster = make_cluster(2, dispatch="session_affinity")
+        cluster.submit(burst(8, output=16))  # session_id=None
+        cluster.run(until=10_000.0)
+        counts = cluster.placement_counts()
+        # Sessionless requests spread via least_loaded, not one node.
+        assert all(count > 0 for count in counts)
+
+    def test_custom_router_can_register(self):
+        @register_router
+        class AlwaysZero(Router):
+            name = "always_zero_test"
+
+            def select(self, instances, request) -> int:
+                return 0
+
+        try:
+            cluster = make_cluster(2, dispatch="always_zero_test")
+            cluster.submit(burst(4, output=16))
+            cluster.run(until=10_000.0)
+            assert cluster.placement_counts() == [4, 0]
+        finally:
+            ROUTERS.pop("always_zero_test", None)
+
+    def test_sticky_map_records_sessions(self):
+        router = SessionAffinityRouter()
+        cluster = ServingCluster.homogeneous(
+            2, TokenFlowScheduler, router=router,
+            hardware="h200", model="llama3-8b", mem_frac=0.01, max_batch=8,
+        )
+        cluster.submit(burst(2, session_id=7, id_base=7000))
+        cluster.run(until=10_000.0)
+        assert 7 in router.assignments
 
 
 class TestEndToEnd:

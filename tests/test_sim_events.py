@@ -105,3 +105,65 @@ class TestEventQueue:
         event.cancel()
         assert not queue
         assert queue.pop() is None
+
+
+class TestHeapCompaction:
+    """The queue rebuilds its heap when >50% of entries are cancelled."""
+
+    def test_compaction_drops_dead_entries(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(128)]
+        # Cancel until the dead fraction crosses 1/2: the heap shrinks
+        # to exactly the live entries.
+        for event in events[: 128 // 2 + 1]:
+            event.cancel()
+        assert len(queue._heap) == len(queue)
+        assert all(not e.cancelled for e in queue._heap)
+
+    def test_small_heaps_are_not_compacted(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(8)]
+        for event in events:
+            event.cancel()
+        # Below the size floor the stale entries stay until popped.
+        assert len(queue._heap) == 8
+        assert len(queue) == 0
+
+    def test_order_preserved_across_compaction(self):
+        queue = EventQueue()
+        order = []
+        events = []
+        for i in range(200):
+            events.append(queue.push(float(i % 7), lambda i=i: order.append(i)))
+        cancelled = {i for i in range(200) if i % 3 == 0}
+        for i in cancelled:
+            events[i].cancel()
+        while queue:
+            queue.pop().action()
+        survivors = [i for i in range(200) if i not in cancelled]
+        expected = sorted(survivors, key=lambda i: (float(i % 7), i))
+        assert order == expected
+
+    def test_live_count_and_peek_after_compaction(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(100)]
+        for event in events[:70]:
+            event.cancel()
+        assert len(queue) == 30
+        assert queue.peek_time() == 70.0
+        popped = queue.pop()
+        assert popped is events[70]
+
+    def test_push_after_compaction_keeps_sequencing(self):
+        queue = EventQueue()
+        events = [queue.push(1.0, lambda: None) for _ in range(80)]
+        for event in events[:60]:
+            event.cancel()
+        late = queue.push(1.0, lambda: None)
+        # Same timestamp: survivors keep insertion precedence over the
+        # post-compaction push.
+        assert queue.pop() is events[60]
+        order = []
+        while queue:
+            order.append(queue.pop())
+        assert order[-1] is late
