@@ -10,7 +10,20 @@ the same rows/series the paper reports.  Run with::
 shape assertions still run.
 """
 
+from pathlib import Path
+
 import pytest
+
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items):
+    """Mark every bench ``slow``: the figure/table regenerations and the
+    perf harness belong to the full tier-1 lane, not the fast CI lane
+    (``-m "not slow"``; see scripts/ci.sh)."""
+    for item in items:
+        if Path(item.fspath).resolve().parent == _BENCH_DIR:
+            item.add_marker(pytest.mark.slow)
 
 
 def emit(text: str) -> None:

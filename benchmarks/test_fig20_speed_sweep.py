@@ -5,8 +5,11 @@ from repro.experiments.ratesweep import render_rate_sweep, run_rate_sweep
 
 
 def test_fig20_speed_sweep(benchmark):
+    # jobs=2 routes the sweep through the matrix orchestrator (results
+    # are bit-identical to the serial path; see tests/test_orchestration.py).
     points = benchmark.pedantic(
-        lambda: run_rate_sweep(rates=(20.0, 25.0, 30.0), n_requests=100),
+        lambda: run_rate_sweep(rates=(20.0, 25.0, 30.0), n_requests=100,
+                               jobs=2),
         rounds=1, iterations=1,
     )
     emit(render_rate_sweep(points))

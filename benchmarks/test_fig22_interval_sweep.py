@@ -5,8 +5,11 @@ from repro.experiments.sensitivity import render_sensitivity, run_interval_sweep
 
 
 def test_fig22_interval_sweep(benchmark):
+    # jobs=2 routes the sweep through the matrix orchestrator (results
+    # are bit-identical to the serial path; see tests/test_orchestration.py).
     points = benchmark.pedantic(
-        lambda: run_interval_sweep(intervals=(0.5, 1.0, 1.5), n_requests=100),
+        lambda: run_interval_sweep(intervals=(0.5, 1.0, 1.5), n_requests=100,
+                                   jobs=2),
         rounds=1, iterations=1,
     )
     emit(render_sensitivity(points, knob="dt(s)"))

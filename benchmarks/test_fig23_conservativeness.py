@@ -8,8 +8,11 @@ from repro.experiments.sensitivity import (
 
 
 def test_fig23_conservativeness(benchmark):
+    # jobs=2 routes the sweep through the matrix orchestrator (results
+    # are bit-identical to the serial path; see tests/test_orchestration.py).
     points = benchmark.pedantic(
-        lambda: run_conservativeness_sweep(mus=(1.0, 20.0), n_requests=100),
+        lambda: run_conservativeness_sweep(mus=(1.0, 20.0), n_requests=100,
+                                           jobs=2),
         rounds=1, iterations=1,
     )
     emit(render_sensitivity(points, knob="mu"))

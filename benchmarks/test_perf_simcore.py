@@ -174,6 +174,19 @@ def test_perf_simcore_table1_h200a(benchmark):
         assert micro["event_queue_events_per_s"] > 25_000
         assert micro["client_buffer_ops_per_s"] > 300_000
 
+    # Carry forward trajectory state from the tracked file: the best
+    # call-count ratio ever recorded (the perf-trajectory guard in
+    # tests/test_perf_trajectory.py fails a >10% regression against
+    # it) and free-form notes other benches append (e.g. the matrix
+    # orchestrator's measured parallel speedup).
+    previous: dict = {}
+    if BENCH_PATH.exists():
+        try:
+            previous = json.loads(BENCH_PATH.read_text())
+        except (ValueError, OSError):
+            previous = {}
+    best_calls = max(call_ratio, previous.get("best", {}).get("calls", 0.0))
+
     payload = {
         "workload": "TABLE1 h200/(a) scale=1.0 seed=0, tokenflow",
         "baseline": BASELINE | {"metrics": BASELINE_METRICS},
@@ -191,7 +204,9 @@ def test_perf_simcore_table1_h200a(benchmark):
             "wall": wall_speedup,
             "calls": call_ratio,
         },
+        "best": {"calls": best_calls},
         "micro": micro,
+        "notes": previous.get("notes", {}),
     }
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 

@@ -1,17 +1,46 @@
 #!/usr/bin/env bash
-# Tier-1 CI flow: the full pytest suite (unit + property + golden +
-# figure benches) including the perf smoke, with the wall-clock gate
-# relaxed so slow/loaded runners cannot fail a bit-identical build
-# (the deterministic call-count gate still protects perf regressions).
+# CI lanes.
 #
-# Run directly or via `repro selftest`.
+#   scripts/ci.sh          tier-1: the full pytest suite (unit +
+#                          property + golden + figure benches)
+#                          including the perf smoke
+#   scripts/ci.sh --fast   fast lane: everything not marked `slow`
+#                          (unit/integration/scenario/orchestration
+#                          tests; targets < 60 s)
+#
+# The perf wall-clock gate is relaxed in both lanes so slow/loaded
+# runners cannot fail a bit-identical build (the deterministic
+# call-count gate still protects perf regressions).
+#
+# Run directly or via `repro selftest [--fast]`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+FAST=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 export REPRO_PERF_NO_WALL_GATE=1
 
-echo "== tier-1: full suite (tests/ + benchmarks/, incl. perf smoke) =="
-python -m pytest -x -q
+# Capture pytest's status explicitly and exit with it: `set -e` must
+# not be able to swallow or reinterpret the suite's result, no matter
+# what trailing steps are added after this block.
+rc=0
+if [[ "$FAST" -eq 1 ]]; then
+  echo "== fast lane: pytest -m 'not slow' =="
+  python -m pytest -x -q -m "not slow" || rc=$?
+else
+  echo "== tier-1: full suite (tests/ + benchmarks/, incl. perf smoke) =="
+  python -m pytest -x -q || rc=$?
+fi
 
-echo "== tier-1 OK =="
+if [[ "$rc" -ne 0 ]]; then
+  echo "== CI lane FAILED (pytest exit $rc) =="
+  exit "$rc"
+fi
+echo "== CI lane OK =="

@@ -14,11 +14,14 @@ registered serving scenarios; ``run`` executes one scenario through
 the :func:`~repro.scenarios.build.build_run` pipeline (optionally as a
 multi-replica cluster behind a named router); ``experiment``
 regenerates one table/figure (same runners the benchmark suite uses);
-``compare`` runs an ad-hoc workload across schedulers; ``profile``
-runs one Table 1 cell under cProfile and prints the hot-spot report
-(wall seconds, function calls, peak RSS) so perf regressions in the
-simulation core are measurable from the command line; ``selftest``
-runs the tier-1 CI flow (``scripts/ci.sh``).
+``compare`` runs an ad-hoc workload across schedulers; ``matrix``
+expands scenarios × routers × replicas × seeds into independent jobs
+and runs them across worker processes (``--list`` previews the cells);
+``profile`` runs one Table 1 cell under cProfile and prints the
+hot-spot report (wall seconds, function calls, peak RSS) so perf
+regressions in the simulation core are measurable from the command
+line; ``selftest`` runs the tier-1 CI flow (``scripts/ci.sh``; pass
+``--fast`` for the not-slow lane).
 """
 
 from __future__ import annotations
@@ -61,7 +64,7 @@ EXPERIMENTS: dict = {
 }
 
 
-def _run_experiment(name: str, scale: float) -> str:
+def _run_experiment(name: str, scale: float, jobs: int = 1) -> str:
     if name == "fig01":
         from repro.client.rates import rate_table_rows
         return render_table(["language", "age", "tokens/s"],
@@ -103,7 +106,8 @@ def _run_experiment(name: str, scale: float) -> str:
         return multirate.render_multirate(multirate.run_multirate())
     if name == "fig20":
         return ratesweep.render_rate_sweep(
-            ratesweep.run_rate_sweep(n_requests=max(8, int(200 * scale)))
+            ratesweep.run_rate_sweep(n_requests=max(8, int(200 * scale)),
+                                     jobs=jobs)
         )
     if name == "fig21":
         reports = endtoend.run_endtoend("ascend910b-llama3-8b",
@@ -111,13 +115,14 @@ def _run_experiment(name: str, scale: float) -> str:
         return endtoend.render_endtoend("ascend910b-llama3-8b", "burstgpt", reports)
     if name == "fig22":
         return sensitivity.render_sensitivity(
-            sensitivity.run_interval_sweep(n_requests=max(8, int(200 * scale))),
+            sensitivity.run_interval_sweep(n_requests=max(8, int(200 * scale)),
+                                           jobs=jobs),
             "dt(s)",
         )
     if name == "fig23":
         return sensitivity.render_sensitivity(
             sensitivity.run_conservativeness_sweep(
-                n_requests=max(8, int(200 * scale))
+                n_requests=max(8, int(200 * scale)), jobs=jobs
             ),
             "mu",
         )
@@ -142,7 +147,7 @@ def cmd_experiment(args) -> int:
         known = ", ".join(sorted(EXPERIMENTS))
         print(f"unknown experiment {args.name!r}; known: {known}", file=sys.stderr)
         return 2
-    print(_run_experiment(args.name, args.scale))
+    print(_run_experiment(args.name, args.scale, jobs=args.jobs))
     return 0
 
 
@@ -231,12 +236,57 @@ def cmd_run(args) -> int:
     return 0
 
 
-def cmd_selftest(_args) -> int:
+def cmd_matrix(args) -> int:
+    from repro.orchestration import MatrixSpec, run_matrix
+
+    try:
+        matrix = MatrixSpec.from_axes(
+            scenarios=args.scenarios or None,
+            routers=args.routers,
+            replicas=args.replicas,
+            seeds=args.seeds,
+            systems=args.systems,
+            scale=args.scale,
+        )
+    except (KeyError, ValueError) as exc:
+        print(str(exc.args[0] if exc.args else exc), file=sys.stderr)
+        return 2
+
+    if args.list:
+        rows = [[cell.cell_id] for cell in matrix.expand()]
+        print(render_table(["cell"], rows,
+                           title=f"Matrix cells ({matrix.n_cells} jobs)"))
+        return 0
+
+    try:
+        report = run_matrix(
+            matrix,
+            jobs=args.jobs,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            cache=not args.no_cache,
+        )
+    except ValueError as exc:  # e.g. --jobs 0
+        print(str(exc.args[0] if exc.args else exc), file=sys.stderr)
+        return 2
+    print(report.render_markdown())
+    if args.out:
+        for path in report.write(args.out):
+            print(f"wrote {path}")
+    return 0 if report.succeeded else 1
+
+
+def cmd_selftest(args) -> int:
     script = Path(__file__).resolve().parents[2] / "scripts" / "ci.sh"
     if not script.exists():
         print(f"selftest script not found: {script}", file=sys.stderr)
         return 2
-    return subprocess.call(["bash", str(script)])
+    argv = ["bash", str(script)]
+    if args.fast:
+        argv.append("--fast")
+    # Propagate pytest's exit status verbatim — a red suite must fail
+    # `repro selftest` (and anything shelling out to it) loudly.
+    return subprocess.run(argv, check=False).returncode
 
 
 def cmd_profile(args) -> int:
@@ -297,14 +347,57 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override the simulation safety horizon (s)")
     run_p.set_defaults(func=cmd_run)
 
-    sub.add_parser(
+    matrix_p = sub.add_parser(
+        "matrix",
+        help="run a scenario matrix (scenarios x routers x replicas x "
+             "seeds) across worker processes",
+    )
+    matrix_p.add_argument(
+        "scenarios", nargs="*",
+        help="scenario names (default: every registered scenario)",
+    )
+    matrix_p.add_argument("--jobs", type=int, default=None,
+                          help="worker processes (default: CPU count)")
+    matrix_p.add_argument("--routers", nargs="+", choices=sorted(ROUTERS),
+                          default=None,
+                          help="router axis (default: scenario defaults)")
+    matrix_p.add_argument("--replicas", type=int, nargs="+", default=None,
+                          help="replica-count axis (default: scenario defaults)")
+    matrix_p.add_argument("--seeds", type=int, nargs="+", default=None,
+                          help="seed axis (default: 0)")
+    matrix_p.add_argument("--systems", nargs="+", default=None,
+                          help="system/scheduler axis (default: scenario "
+                               "defaults)")
+    matrix_p.add_argument("--scale", type=float, default=0.25,
+                          help="workload scale factor (default 0.25)")
+    matrix_p.add_argument("--timeout", type=float, default=None,
+                          help="per-job run-time deadline in seconds "
+                               "(measured from job start; forces pool "
+                               "execution)")
+    matrix_p.add_argument("--retries", type=int, default=0,
+                          help="resubmissions per failing job (default 0)")
+    matrix_p.add_argument("--no-cache", action="store_true",
+                          help="always re-run cells (skip the result cache)")
+    matrix_p.add_argument("--out", default=None,
+                          help="directory for matrix_report.{md,json}")
+    matrix_p.add_argument("--list", action="store_true",
+                          help="print the expanded cells without running")
+    matrix_p.set_defaults(func=cmd_matrix)
+
+    selftest_p = sub.add_parser(
         "selftest", help="run the tier-1 CI flow (scripts/ci.sh)"
-    ).set_defaults(func=cmd_selftest)
+    )
+    selftest_p.add_argument("--fast", action="store_true",
+                            help="fast lane: skip slow-marked suites")
+    selftest_p.set_defaults(func=cmd_selftest)
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp.add_argument("name", help="experiment id (see `list`)")
     exp.add_argument("--scale", type=float, default=0.25,
                      help="workload scale factor (default 0.25)")
+    exp.add_argument("--jobs", type=int, default=1,
+                     help="worker processes for sweep experiments "
+                          "(fig20/fig22/fig23)")
     exp.set_defaults(func=cmd_experiment)
 
     cmp_ = sub.add_parser("compare", help="run an ad-hoc comparison")

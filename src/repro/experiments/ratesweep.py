@@ -41,10 +41,14 @@ def run_rate_sweep(
     max_batch: int = 48,
     baseline: str = "sglang",
     seed: int = 0,
+    jobs: int = 1,
 ) -> list:
-    """Sweep consumption rates -> list of :class:`SweepPoint`."""
-    points: list = []
-    for rate in rates:
+    """Sweep consumption rates -> list of :class:`SweepPoint`.
+
+    ``jobs > 1`` runs the whole rate × system grid as one matrix on
+    worker processes (results are bit-identical to the serial sweep).
+    """
+    def workload(rate: float) -> list:
         spec = WorkloadSpec(
             arrival="burst",
             n_requests=n_requests,
@@ -52,14 +56,38 @@ def run_rate_sweep(
             lengths=NormalLengthSampler(),
             rates=RateMixture.fixed(rate),
         )
-        requests = WorkloadBuilder(spec, RngStreams(seed)).build()
+        return WorkloadBuilder(spec, RngStreams(seed)).build()
+
+    serving = dict(hardware=hardware, model=model, mem_frac=mem_frac,
+                   max_batch=max_batch)
+
+    if jobs > 1:
+        from repro.experiments.runner import run_spec_cells
+        from repro.scenarios.spec import ScenarioSpec
+
+        pairs = []
+        for rate in rates:
+            rate_requests = tuple(workload(rate))
+            for system in (baseline, "tokenflow"):
+                pairs.append((
+                    ScenarioSpec(name=f"{system}@rate={rate:g}",
+                                 system=system, **serving),
+                    rate_requests,
+                ))
+        reports = run_spec_cells(pairs, jobs=jobs)
+        return [
+            SweepPoint(
+                rate=rate,
+                baseline_eff=reports[2 * i].effective_throughput,
+                tokenflow_eff=reports[2 * i + 1].effective_throughput,
+            )
+            for i, rate in enumerate(rates)
+        ]
+
+    points: list = []
+    for rate in rates:
         reports = run_comparison(
-            (baseline, "tokenflow"),
-            requests,
-            hardware=hardware,
-            model=model,
-            mem_frac=mem_frac,
-            max_batch=max_batch,
+            (baseline, "tokenflow"), workload(rate), **serving
         )
         points.append(
             SweepPoint(

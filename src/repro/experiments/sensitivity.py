@@ -52,6 +52,32 @@ def _run_tokenflow(params: TokenFlowParams, requests, serving_kwargs: dict):
     return reports["tokenflow"]
 
 
+def _sweep_reports(
+    settings_params: list, requests: list, serving: dict, jobs: int
+) -> list:
+    """One report per ``(setting, TokenFlowParams)``, in input order.
+
+    ``jobs > 1`` runs every knob setting as one inline-cell matrix on
+    worker processes — the sweep points are independent deterministic
+    runs on copies of the same workload, so results match the serial
+    loop bit-for-bit.
+    """
+    if jobs > 1 and len(settings_params) > 1:
+        from repro.experiments.runner import run_comparison_cells
+        from repro.scenarios.spec import ScenarioSpec
+
+        specs = [
+            ScenarioSpec(name=f"tokenflow@{setting:g}", system="tokenflow",
+                         tokenflow_params=params, **serving)
+            for setting, params in settings_params
+        ]
+        return run_comparison_cells(specs, requests, jobs=jobs)
+    return [
+        _run_tokenflow(params, requests, serving)
+        for _setting, params in settings_params
+    ]
+
+
 DEFAULT_SERVING = {
     "hardware": "h200",
     "model": "llama3-8b",
@@ -66,25 +92,27 @@ def run_interval_sweep(
     rate: float = 10.0,
     seed: int = 0,
     serving_kwargs: dict = None,
+    jobs: int = 1,
 ) -> list:
     """Fig. 22: sweep the reschedule interval Δt."""
     serving = dict(DEFAULT_SERVING if serving_kwargs is None else serving_kwargs)
     requests = _burst_workload(n_requests, rate, seed)
-    points: list = []
-    for interval in intervals:
-        params = TokenFlowParams(tick_interval=float(interval))
-        report = _run_tokenflow(params, requests, serving)
-        points.append(
-            SensitivityPoint(
-                setting=float(interval),
-                effective_throughput=report.effective_throughput,
-                ttft_mean=report.ttft_mean,
-                ttft_p99=report.ttft_p99,
-                stall_total=report.stall_total,
-                preemptions=report.preemptions,
-            )
+    settings_params = [
+        (float(interval), TokenFlowParams(tick_interval=float(interval)))
+        for interval in intervals
+    ]
+    reports = _sweep_reports(settings_params, requests, serving, jobs)
+    return [
+        SensitivityPoint(
+            setting=setting,
+            effective_throughput=report.effective_throughput,
+            ttft_mean=report.ttft_mean,
+            ttft_p99=report.ttft_p99,
+            stall_total=report.stall_total,
+            preemptions=report.preemptions,
         )
-    return points
+        for (setting, _params), report in zip(settings_params, reports)
+    ]
 
 
 def run_conservativeness_sweep(
@@ -93,27 +121,28 @@ def run_conservativeness_sweep(
     rate: float = 10.0,
     seed: int = 0,
     serving_kwargs: dict = None,
+    jobs: int = 1,
 ) -> list:
     """Fig. 23: sweep buffer conservativeness μ."""
     serving = dict(DEFAULT_SERVING if serving_kwargs is None else serving_kwargs)
     requests = _burst_workload(n_requests, rate, seed)
-    points: list = []
-    for mu in mus:
-        params = TokenFlowParams(
-            working_set=WorkingSetParams(safety_factor=float(mu))
+    settings_params = [
+        (float(mu),
+         TokenFlowParams(working_set=WorkingSetParams(safety_factor=float(mu))))
+        for mu in mus
+    ]
+    reports = _sweep_reports(settings_params, requests, serving, jobs)
+    return [
+        SensitivityPoint(
+            setting=setting,
+            effective_throughput=report.effective_throughput,
+            ttft_mean=report.ttft_mean,
+            ttft_p99=report.ttft_p99,
+            stall_total=report.stall_total,
+            preemptions=report.preemptions,
         )
-        report = _run_tokenflow(params, requests, serving)
-        points.append(
-            SensitivityPoint(
-                setting=float(mu),
-                effective_throughput=report.effective_throughput,
-                ttft_mean=report.ttft_mean,
-                ttft_p99=report.ttft_p99,
-                stall_total=report.stall_total,
-                preemptions=report.preemptions,
-            )
-        )
-    return points
+        for (setting, _params), report in zip(settings_params, reports)
+    ]
 
 
 def render_sensitivity(points: list, knob: str) -> str:

@@ -1,0 +1,38 @@
+"""Scenario-matrix orchestration.
+
+Expands a :class:`~repro.orchestration.matrix.MatrixSpec` — scenarios
+× routers × replica-counts × seeds — into independent jobs, runs them
+across worker processes with per-job timeout/retry bookkeeping and a
+``(spec-hash, code-version)`` result cache, and folds the per-cell
+reports into one :class:`~repro.orchestration.report.MatrixReport`.
+
+Every cell executes the exact solo ``build_run`` code path, so matrix
+results are bit-identical to standalone ``repro run`` invocations of
+the same cell.  Entry points: ``repro matrix`` (CLI),
+:func:`repro.scenarios.build.run_matrix` (library), and the batch
+paths of :mod:`repro.experiments.runner` and the figure sweeps.
+"""
+
+from repro.orchestration.cache import MatrixCache, code_version
+from repro.orchestration.executor import run_matrix
+from repro.orchestration.matrix import (
+    Cell,
+    InlineCell,
+    MatrixCell,
+    MatrixSpec,
+    spec_fingerprint,
+)
+from repro.orchestration.report import CellResult, MatrixReport
+
+__all__ = [
+    "Cell",
+    "CellResult",
+    "InlineCell",
+    "MatrixCache",
+    "MatrixCell",
+    "MatrixReport",
+    "MatrixSpec",
+    "code_version",
+    "run_matrix",
+    "spec_fingerprint",
+]

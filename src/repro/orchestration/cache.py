@@ -1,0 +1,86 @@
+"""Result cache for matrix cells, keyed on (spec-hash, code-version).
+
+A cell's result is fully determined by its resolved spec (plus the
+explicit workload for inline cells) and the simulator code itself —
+the runs are deterministic.  So repeated CI invocations can skip any
+cell whose spec hash and code version both match a stored result.
+
+The code version is a SHA-256 over every ``src/repro/**/*.py`` file
+(path + contents), not the git HEAD: it changes exactly when behaviour
+can change, works in exported/dirty trees, and is computed once per
+process (~tens of ms).
+
+Entries are pickled :class:`~repro.serving.metrics.RunReport` objects,
+one file per key under the cache directory (default
+``.repro-cache/matrix`` at the repo root, override with
+``REPRO_CACHE_DIR``).  Corrupt or unreadable entries are treated as
+misses — the cache can always be deleted wholesale.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from pathlib import Path
+from typing import Optional
+
+_SRC_ROOT = Path(__file__).resolve().parents[1]  # src/repro
+_code_version: Optional[str] = None
+
+
+def code_version() -> str:
+    """Hash of the simulator source tree (memoised per process)."""
+    global _code_version
+    if _code_version is None:
+        digest = hashlib.sha256()
+        for path in sorted(_SRC_ROOT.rglob("*.py")):
+            digest.update(str(path.relative_to(_SRC_ROOT)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _code_version = digest.hexdigest()
+    return _code_version
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    # src/repro/orchestration -> repo root
+    return _SRC_ROOT.parents[1] / ".repro-cache" / "matrix"
+
+
+class MatrixCache:
+    """Pickle-file store of per-cell reports."""
+
+    def __init__(self, directory: Optional[Path] = None) -> None:
+        self.directory = Path(directory) if directory else default_cache_dir()
+
+    def key(self, fingerprint: str, version: Optional[str] = None) -> str:
+        """Cache key for a cell fingerprint under a code version."""
+        version = version if version is not None else code_version()
+        digest = hashlib.sha256()
+        digest.update(version.encode())
+        digest.update(b"\0")
+        digest.update(fingerprint.encode())
+        return digest.hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def load(self, key: str):
+        """The stored report for ``key``, or ``None`` on a miss."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError, AttributeError):
+            return None
+
+    def store(self, key: str, report) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "wb") as handle:
+            pickle.dump(report, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)  # atomic: parallel writers never tear a file

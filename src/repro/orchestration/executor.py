@@ -1,0 +1,310 @@
+"""Deterministic multi-process execution of a scenario matrix.
+
+``run_matrix`` expands a :class:`~repro.orchestration.matrix.MatrixSpec`
+(or takes an explicit cell list), skips cells whose ``(spec-hash,
+code-version)`` key is already in the result cache, and executes the
+rest — serially for ``jobs == 1``, else on a
+:class:`concurrent.futures.ProcessPoolExecutor`.
+
+Determinism contract (tested in ``tests/test_orchestration.py``):
+
+* every cell runs the exact solo code path (``build_run(spec)`` on a
+  spec resolved from the cell coordinates), with RNG streams derived
+  only from the cell's own ``(scenario, scale, seed)`` — so a cell's
+  :class:`~repro.serving.metrics.RunReport` is bit-identical whether it
+  runs alone, serially, or in any parallel schedule;
+* the :class:`~repro.orchestration.report.MatrixReport` lists cells in
+  expansion order regardless of completion order.
+
+Timeout/retry bookkeeping: a job that raises is resubmitted up to
+``retries`` times (attempts are recorded per cell).  ``timeout_s`` is
+a *run-time* deadline: the clock starts when the job is observed
+running (at worst one poll interval after its true start), so queue
+wait behind other cells never counts.  An over-deadline job is marked
+``timeout`` and its worker slot written off (a worker cannot be
+interrupted mid-job, so the processes are terminated once all verdicts
+are in — a genuinely hung cell cannot hang the matrix); if every slot
+is written off, still-queued cells are abandoned with a timeout
+verdict rather than waiting forever.  Timeouts need process execution
+— the in-process serial shortcut cannot interrupt a cell — so any
+requested ``timeout_s`` routes through the pool, a 1-worker pool when
+``jobs == 1``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Optional, Sequence, Union
+
+from repro.orchestration.cache import MatrixCache, code_version
+from repro.orchestration.matrix import Cell, MatrixSpec, spec_fingerprint
+from repro.orchestration.report import (
+    STATUS_CACHED,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    CellResult,
+    MatrixReport,
+)
+from repro.serving.metrics import RunReport, aggregate_reports
+
+# How often the parallel loop wakes to check per-job deadlines.
+_POLL_S = 0.25
+
+
+def _execute_cell(cell: Cell) -> "tuple[RunReport, float]":
+    """Worker body: build, run, and report one cell.
+
+    Cluster cells are flattened to a single :class:`RunReport` through
+    the same :func:`aggregate_reports` fold the cluster's own
+    ``report()`` uses, so every cell yields one comparable report.
+    """
+    t0 = time.perf_counter()
+    run = cell.build()
+    report = run.execute()
+    if run.is_cluster:
+        report = aggregate_reports(
+            report.per_instance, system=cell.resolve().system
+        )
+    return report, time.perf_counter() - t0
+
+
+def run_matrix(
+    matrix: Union[MatrixSpec, Sequence[Cell]],
+    jobs: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    cache: bool = False,
+    cache_dir=None,
+) -> MatrixReport:
+    """Execute every cell of ``matrix`` and return a :class:`MatrixReport`.
+
+    Args:
+        matrix: a :class:`MatrixSpec` or an explicit cell sequence.
+        jobs: worker processes (default ``os.cpu_count()``, capped at
+            the cell count); ``1`` runs serially in-process.
+        timeout_s: per-job run-time deadline (measured from observed
+            run start, not submission; forces pool execution).
+        retries: resubmissions allowed per failing job.
+        cache: reuse/store per-cell results keyed on
+            ``(spec-hash, code-version)``.
+        cache_dir: cache location override (default
+            ``.repro-cache/matrix``, or ``REPRO_CACHE_DIR``).
+    """
+    cells = list(matrix.expand() if isinstance(matrix, MatrixSpec) else matrix)
+    if jobs is None:
+        jobs = max(1, min(os.cpu_count() or 1, len(cells)))
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+
+    store = MatrixCache(cache_dir) if cache else None
+    version = code_version()
+    t_start = time.perf_counter()
+
+    results: dict = {}  # cell index -> CellResult
+    keys: dict = {}     # cell index -> cache key
+    misses: list = []   # indices still to execute
+    for idx, cell in enumerate(cells):
+        if store is None:
+            misses.append(idx)
+            continue
+        key = store.key(spec_fingerprint(cell), version)
+        keys[idx] = key
+        cached = store.load(key)
+        if cached is not None:
+            results[idx] = CellResult(
+                cell_id=cell.cell_id, status=STATUS_CACHED, report=cached,
+                attempts=0, duration_s=0.0, cache_key=key,
+            )
+        else:
+            misses.append(idx)
+
+    # Enforcing timeout_s needs a worker process to abandon, so any
+    # requested deadline routes through the pool — even for jobs == 1
+    # (a 1-worker pool) or a single miss.  Only deadline-free small
+    # batches take the in-process serial shortcut.
+    serial = timeout_s is None and (jobs == 1 or len(misses) <= 1)
+    if serial:
+        for idx in misses:
+            results[idx] = _run_serial(cells[idx], retries)
+    elif misses:
+        _run_parallel(cells, misses, results, jobs, timeout_s, retries)
+
+    if store is not None:
+        for idx in misses:
+            result = results[idx]
+            if result.status == STATUS_OK and result.report is not None:
+                result.cache_key = keys[idx]
+                store.store(keys[idx], result.report)
+
+    return MatrixReport(
+        cells=[results[idx] for idx in range(len(cells))],
+        jobs=jobs,
+        wall_s=time.perf_counter() - t_start,
+        code_version=version,
+    )
+
+
+def _run_serial(cell: Cell, retries: int) -> CellResult:
+    attempts = 0
+    while True:
+        attempts += 1
+        t0 = time.perf_counter()
+        try:
+            report, duration = _execute_cell(cell)
+        except Exception:
+            if attempts <= retries:
+                continue
+            return CellResult(
+                cell_id=cell.cell_id, status=STATUS_ERROR,
+                error=traceback.format_exc(limit=3).strip(),
+                attempts=attempts, duration_s=time.perf_counter() - t0,
+            )
+        return CellResult(
+            cell_id=cell.cell_id, status=STATUS_OK, report=report,
+            attempts=attempts, duration_s=duration,
+        )
+
+
+def _run_parallel(
+    cells: list,
+    misses: list,
+    results: dict,
+    jobs: int,
+    timeout_s: Optional[float],
+    retries: int,
+) -> None:
+    """Fill ``results`` for ``misses`` using a process pool."""
+    from concurrent.futures import BrokenExecutor
+
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    # Worker slots held by over-deadline jobs are treated as lost (the
+    # worker may be genuinely hung).  Once every slot is lost, queued
+    # cells can never start, so they are abandoned instead of being
+    # resubmitted forever.
+    dead_slots = 0
+    try:
+        # future -> [cell index, attempt number, submit time,
+        #            run start time (None while queued)].
+        # The deadline clock starts when the job is *observed running*
+        # (at worst one poll interval after it truly started), so queue
+        # wait never counts against timeout_s.
+        inflight = {
+            pool.submit(_execute_cell, cells[idx]):
+                [idx, 1, time.monotonic(), None]
+            for idx in misses
+        }
+
+        def resubmit(idx: int, attempt: int) -> bool:
+            """Queue another attempt; False if the pool is unusable
+            (a worker died and broke the executor)."""
+            try:
+                inflight[pool.submit(_execute_cell, cells[idx])] = [
+                    idx, attempt, time.monotonic(), None
+                ]
+                return True
+            except (BrokenExecutor, RuntimeError):
+                return False
+
+        def record_error(idx: int, attempt: int, started: float,
+                         message: str) -> None:
+            results[idx] = CellResult(
+                cell_id=cells[idx].cell_id, status=STATUS_ERROR,
+                error=message, attempts=attempt,
+                duration_s=time.monotonic() - started,
+            )
+
+        while inflight:
+            done, _ = wait(
+                set(inflight),
+                timeout=_POLL_S if timeout_s is not None else None,
+                return_when=FIRST_COMPLETED,
+            )
+            for future in done:
+                idx, attempt, t_submit, _t_run = inflight.pop(future)
+                cell = cells[idx]
+                try:
+                    report, duration = future.result()
+                except Exception as exc:
+                    message = f"{type(exc).__name__}: {exc}"
+                    if attempt > retries or not resubmit(idx, attempt + 1):
+                        record_error(idx, attempt, t_submit, message)
+                else:
+                    results[idx] = CellResult(
+                        cell_id=cell.cell_id, status=STATUS_OK, report=report,
+                        attempts=attempt, duration_s=duration,
+                    )
+            if timeout_s is None:
+                continue
+            now = time.monotonic()
+            # Only `jobs` cells can truly execute at once; the rest of
+            # the RUNNING-state futures merely sit in the executor's
+            # bounded call queue (Future.running() flips when a job is
+            # *buffered*, max_workers+1 deep, not when a worker picks
+            # it up).  Start at most that many deadline clocks,
+            # oldest-submission-first, counting written-off slots as
+            # permanently busy — so genuine queue wait never counts
+            # against timeout_s.
+            executing = dead_slots + sum(
+                1 for m in inflight.values() if m[3] is not None
+            )
+            for future, meta in list(inflight.items()):
+                if meta[3] is None:
+                    if executing < jobs and future.running():
+                        meta[3] = now  # presumed start; clock begins here
+                        executing += 1
+                    continue
+                if now - meta[3] <= timeout_s:
+                    continue
+                # Running past its deadline: record the timeout and
+                # treat the slot as lost.  The worker cannot be
+                # interrupted mid-cell; its late result is discarded,
+                # and the whole pool is torn down (workers terminated)
+                # once every cell has a verdict, so a hung cell cannot
+                # hang the matrix.
+                dead_slots += 1
+                del inflight[future]
+                future.add_done_callback(lambda f: f.exception())
+                idx = meta[0]
+                results[idx] = CellResult(
+                    cell_id=cells[idx].cell_id, status=STATUS_TIMEOUT,
+                    error=f"exceeded {timeout_s:.1f}s deadline",
+                    attempts=meta[1], duration_s=now - meta[3],
+                )
+            if dead_slots >= jobs and inflight:
+                # Every worker slot is held by an over-deadline job:
+                # the remaining cells can never start (items buffered
+                # in the call queue are not even cancellable), so
+                # abandon them all — the pool is torn down and its
+                # workers terminated on the way out.
+                for future, meta in inflight.items():
+                    future.cancel()
+                    future.add_done_callback(lambda f: f.exception())
+                    results[meta[0]] = CellResult(
+                        cell_id=cells[meta[0]].cell_id,
+                        status=STATUS_TIMEOUT,
+                        error=(f"abandoned: all {jobs} worker slot(s) "
+                               f"held by over-deadline jobs"),
+                        attempts=meta[1],
+                        duration_s=now - meta[2],
+                    )
+                inflight.clear()
+    finally:
+        if dead_slots:
+            # Don't wait for abandoned workers: drop the queue, kill
+            # the worker processes, and reap them.  The worker mapping
+            # must be snapshotted *before* shutdown clears it.  (It is
+            # a private executor attribute; if it ever disappears we
+            # degrade to waiting, which only costs time, not
+            # correctness.)
+            workers = list((getattr(pool, "_processes", None) or {}).values())
+            pool.shutdown(wait=False, cancel_futures=True)
+            for proc in workers:
+                proc.terminate()
+            for proc in workers:
+                proc.join(timeout=5.0)
+        else:
+            pool.shutdown(wait=True)

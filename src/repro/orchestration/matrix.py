@@ -1,0 +1,280 @@
+"""Matrix-of-scenarios specification and job expansion.
+
+A :class:`MatrixSpec` names an experiment *matrix* — scenarios ×
+routers × replica-counts × seeds — and expands it into independent
+:class:`MatrixCell` jobs.  Each cell is a plain value object (no
+callables, no built systems), so it pickles cleanly into a worker
+process and resolves to exactly the same :class:`ScenarioSpec` that a
+solo ``repro run`` would build: a cell run inside the matrix is
+bit-identical to the same cell run alone.
+
+Seeding: a cell's workload RNG is derived from ``(scenario name,
+scale, seed)`` alone — the registry builder feeds the seed into
+:class:`~repro.sim.rng.RngStreams`, which derives per-consumer streams
+from the root seed and stable stream-name hashes.  Nothing about the
+matrix (cell order, worker id, sibling cells) enters the derivation,
+which is what makes solo and in-matrix runs reproduce each other.
+
+:class:`InlineCell` covers the other batch shape in the repo: several
+systems (or parameter settings) racing on one *explicit* shared
+workload, as ``run_comparison`` and the figure sweeps do.  It carries
+a fully-resolved workloadless :class:`ScenarioSpec` plus the request
+list itself.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.scenarios.build import ScenarioRun, build_run
+from repro.scenarios.registry import get_scenario, scenario_names
+from repro.scenarios.spec import ScenarioSpec
+from repro.serving.routers import ROUTERS
+
+
+def _known_system_names() -> set:
+    """Every system name :func:`build_system` resolves.
+
+    Imported lazily: the experiments package pulls in the runner stack,
+    which routes back through the scenarios layer at import time.
+    """
+    from repro.experiments.systems import (
+        ABLATION_NAMES,
+        EXTRA_SYSTEM_NAMES,
+        SYSTEM_NAMES,
+    )
+
+    return set(SYSTEM_NAMES) | set(EXTRA_SYSTEM_NAMES) | set(ABLATION_NAMES)
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One registry-scenario job of the matrix.
+
+    ``router`` / ``replicas`` / ``system`` of ``None`` keep the
+    scenario's own default, so a bare one-axis matrix reproduces the
+    registered scenarios exactly.
+    """
+
+    scenario: str
+    seed: int = 0
+    scale: float = 1.0
+    router: Optional[str] = None
+    replicas: Optional[int] = None
+    system: Optional[str] = None
+
+    @property
+    def cell_id(self) -> str:
+        """Stable human-readable identifier (report rows, cache keys)."""
+        parts = [self.scenario]
+        if self.system is not None:
+            parts.append(f"sys={self.system}")
+        if self.router is not None:
+            parts.append(f"router={self.router}")
+        if self.replicas is not None:
+            parts.append(f"replicas={self.replicas}")
+        parts.append(f"seed={self.seed}")
+        if self.scale != 1.0:
+            parts.append(f"scale={self.scale:g}")
+        return "/".join(parts)
+
+    def overrides(self) -> dict:
+        out: dict = {}
+        if self.router is not None:
+            out["router"] = self.router
+        if self.replicas is not None:
+            out["replicas"] = self.replicas
+        if self.system is not None:
+            out["system"] = self.system
+        return out
+
+    def resolve(self) -> ScenarioSpec:
+        """The exact spec a solo ``repro run`` of this cell would build."""
+        return get_scenario(
+            self.scenario, scale=self.scale, seed=self.seed, **self.overrides()
+        )
+
+    def build(self) -> ScenarioRun:
+        return build_run(self.resolve())
+
+
+@dataclass(frozen=True)
+class InlineCell:
+    """One ad-hoc job: a resolved spec plus its explicit workload.
+
+    Used by the comparison/sweep migrations, where every cell shares
+    one request list built once by the caller.  ``spec.workload`` must
+    be ``None`` (callables do not pickle); the requests ride along
+    instead.
+    """
+
+    spec: ScenarioSpec
+    requests: tuple
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.spec.workload is not None:
+            raise ValueError(
+                "InlineCell specs must be workloadless (callables do not "
+                "pickle across processes); pass the requests explicitly"
+            )
+
+    @property
+    def cell_id(self) -> str:
+        return self.label or self.spec.name or self.spec.system
+
+    def resolve(self) -> ScenarioSpec:
+        return self.spec
+
+    def build(self) -> ScenarioRun:
+        return build_run(self.spec, requests=list(self.requests))
+
+
+Cell = Union[MatrixCell, InlineCell]
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """A scenarios × routers × replicas × seeds matrix.
+
+    Axis values of ``None`` (inside ``routers`` / ``replicas`` /
+    ``systems``) keep each scenario's registered default.  ``expand``
+    order is the deterministic nested-loop order of the axes as given;
+    reports preserve it regardless of job completion order.
+    """
+
+    scenarios: Tuple[str, ...]
+    routers: Tuple[Optional[str], ...] = (None,)
+    replicas: Tuple[Optional[int], ...] = (None,)
+    seeds: Tuple[int, ...] = (0,)
+    systems: Tuple[Optional[str], ...] = (None,)
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.scenarios:
+            raise ValueError("matrix needs at least one scenario")
+        for axis in ("routers", "replicas", "seeds", "systems"):
+            if not getattr(self, axis):
+                raise ValueError(f"matrix axis {axis!r} must be non-empty")
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+        known = set(scenario_names())
+        unknown = [name for name in self.scenarios if name not in known]
+        if unknown:
+            raise KeyError(
+                f"unknown scenario(s) {unknown}; known: {sorted(known)}"
+            )
+        # Pre-flight the remaining axes too: a typo'd system or a
+        # non-positive replica count should be a usage error here, not
+        # N per-cell worker failures (times retries) at run time.
+        for n_replicas in self.replicas:
+            if n_replicas is not None and n_replicas <= 0:
+                raise ValueError(
+                    f"replicas must be positive, got {n_replicas}"
+                )
+        for seed in self.seeds:
+            if seed < 0:
+                raise ValueError(f"seeds must be non-negative, got {seed}")
+        for router in self.routers:
+            if router is not None and router not in ROUTERS:
+                raise ValueError(
+                    f"unknown router {router!r}; known: {sorted(ROUTERS)}"
+                )
+        known_systems = _known_system_names()
+        for system in self.systems:
+            if system is not None and system not in known_systems:
+                raise KeyError(
+                    f"unknown system {system!r}; known: "
+                    f"{sorted(known_systems)}"
+                )
+
+    @classmethod
+    def from_axes(
+        cls,
+        scenarios: Optional[Sequence[str]] = None,
+        routers: Optional[Sequence[str]] = None,
+        replicas: Optional[Sequence[int]] = None,
+        seeds: Optional[Sequence[int]] = None,
+        systems: Optional[Sequence[str]] = None,
+        scale: float = 1.0,
+    ) -> "MatrixSpec":
+        """Build from CLI-style axis lists (None = default axis)."""
+        return cls(
+            scenarios=tuple(scenarios) if scenarios else tuple(scenario_names()),
+            routers=tuple(routers) if routers else (None,),
+            replicas=tuple(int(n) for n in replicas) if replicas else (None,),
+            seeds=tuple(int(s) for s in seeds) if seeds else (0,),
+            systems=tuple(systems) if systems else (None,),
+            scale=scale,
+        )
+
+    @property
+    def n_cells(self) -> int:
+        return (len(self.scenarios) * len(self.systems) * len(self.routers)
+                * len(self.replicas) * len(self.seeds))
+
+    def expand(self) -> list:
+        """The matrix as a deterministic list of :class:`MatrixCell`."""
+        return [
+            MatrixCell(
+                scenario=scenario,
+                system=system,
+                router=router,
+                replicas=n_replicas,
+                seed=seed,
+                scale=self.scale,
+            )
+            for scenario, system, router, n_replicas, seed in itertools.product(
+                self.scenarios, self.systems, self.routers,
+                self.replicas, self.seeds,
+            )
+        ]
+
+
+def spec_fingerprint(cell: Cell) -> str:
+    """A stable textual fingerprint of everything that determines a
+    cell's result (used with the code version as the cache key).
+
+    Built from the *resolved* spec, so e.g. a scenario builder changing
+    its default router or memory fraction changes the fingerprint even
+    when the cell coordinates look the same.
+    """
+    spec = cell.resolve()
+    fields = {
+        name: _stable(getattr(spec, name))
+        for name in sorted(f.name for f in dataclasses.fields(spec))
+        if name != "workload"
+    }
+    parts = [f"cell={cell.cell_id}", f"spec={fields!r}"]
+    if isinstance(cell, InlineCell):
+        workload = tuple(
+            (r.req_id, r.arrival_time, r.prompt_len, r.output_len, r.rate,
+             r.is_agent, r.session_id)
+            for r in cell.requests
+        )
+        parts.append(f"requests={workload!r}")
+    else:
+        # Registry cells re-derive their workload from (name, scale,
+        # seed), all of which are in the resolved spec already.
+        parts.append("requests=registry")
+    return "\n".join(parts)
+
+
+def _stable(value) -> str:
+    """Deterministic repr for spec field values (dataclasses included)."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        inner = {
+            f.name: _stable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return f"{type(value).__name__}({inner!r})"
+    if isinstance(value, (tuple, list)):
+        return repr([_stable(v) for v in value])
+    if isinstance(value, dict):
+        return repr({str(k): _stable(v) for k, v in sorted(value.items())})
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return repr(value)
+    return f"{type(value).__name__}:{value!r}"

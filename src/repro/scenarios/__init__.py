@@ -10,7 +10,7 @@ and Table 2 setups plus multi-replica and bursty-session extensions;
 command line.
 """
 
-from repro.scenarios.build import ScenarioRun, build_run
+from repro.scenarios.build import ScenarioRun, build_run, run_matrix
 from repro.scenarios.registry import (
     get_scenario,
     list_scenarios,
@@ -26,5 +26,6 @@ __all__ = [
     "get_scenario",
     "list_scenarios",
     "register_scenario",
+    "run_matrix",
     "scenario_names",
 ]

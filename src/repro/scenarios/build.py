@@ -68,6 +68,19 @@ class ScenarioRun:
         return self.spec.name or self.spec.system
 
 
+def run_matrix(matrix, **kwargs):
+    """Run a scenario matrix; see :func:`repro.orchestration.run_matrix`.
+
+    Lives here so the scenarios layer exposes both entrypoints — one
+    cell (:func:`build_run`) and a whole matrix — from one module; the
+    implementation stays in :mod:`repro.orchestration`, which imports
+    this module (hence the lazy import).
+    """
+    from repro.orchestration import run_matrix as _run_matrix
+
+    return _run_matrix(matrix, **kwargs)
+
+
 def build_run(spec: ScenarioSpec, requests: Optional[list] = None) -> ScenarioRun:
     """Build the serving target for ``spec`` (single node or cluster).
 

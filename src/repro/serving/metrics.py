@@ -212,6 +212,27 @@ def _assemble_report(
     )
 
 
+def report_fingerprint(report: RunReport) -> tuple:
+    """Every aggregate number plus exact per-request detail, as one
+    hashable value.
+
+    The determinism-audit primitive: two runs of the same scenario are
+    "bit-identical" iff their fingerprints compare equal (used by the
+    orchestrator's matrix-vs-solo parity tests and available for ad-hoc
+    reproducibility checks).  Floats are compared exactly — no
+    tolerance — which is the point.
+    """
+    per_request = tuple(
+        (m.req_id, m.ttft, m.finish_time, m.generated, m.stall_time,
+         m.effective_tokens, m.qos_term, m.preemptions)
+        for m in report.per_request
+    )
+    return (report.n_requests, report.n_finished, report.total_tokens,
+            report.throughput, report.effective_throughput, report.qos,
+            report.ttft_mean, report.ttft_p50, report.ttft_p99,
+            report.stall_total, report.preemptions, per_request)
+
+
 def aggregate_reports(reports: Sequence, system: str = "cluster") -> RunReport:
     """Fold per-instance :class:`RunReport` objects into one aggregate.
 

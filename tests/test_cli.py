@@ -91,6 +91,48 @@ class TestScenarioCommands:
     def test_selftest_registered(self):
         args = build_parser().parse_args(["selftest"])
         assert args.func.__name__ == "cmd_selftest"
+        assert args.fast is False
+
+    def test_selftest_fast_flag(self):
+        args = build_parser().parse_args(["selftest", "--fast"])
+        assert args.fast is True
+
+
+class TestMatrixCommand:
+    def test_list_expands_cells_without_running(self, capsys):
+        code = main(["matrix", "table1-h200-a", "cluster-burst-4x",
+                     "--seeds", "0", "1", "--list"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4 jobs" in out
+        assert "table1-h200-a/seed=1" in out
+        assert "cluster-burst-4x/seed=0" in out
+
+    def test_small_matrix_runs(self, capsys, tmp_path):
+        code = main([
+            "matrix", "cluster-burst-4x", "--scale", "0.05",
+            "--seeds", "0", "1", "--jobs", "1", "--no-cache",
+            "--out", str(tmp_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 cells" in out and "0 failed" in out
+        assert (tmp_path / "matrix_report.md").exists()
+        assert (tmp_path / "matrix_report.json").exists()
+
+    def test_unknown_scenario_fails_cleanly(self, capsys):
+        assert main(["matrix", "not-a-scenario", "--list"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_invalid_jobs_fails_cleanly(self, capsys):
+        code = main(["matrix", "cluster-burst-4x", "--scale", "0.05",
+                     "--jobs", "0", "--no-cache"])
+        assert code == 2
+        assert "jobs must be" in capsys.readouterr().err
+
+    def test_unknown_router_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["matrix", "--routers", "warp_drive"])
 
 
 class TestCompareCommand:

@@ -1,0 +1,54 @@
+"""Perf-trajectory guard over the tracked benchmark artifact.
+
+``benchmarks/BENCH_simcore.json`` is the committed perf trajectory:
+each full tier-1 run refreshes it with the current deterministic
+call-count speedup (see ``benchmarks/test_perf_simcore.py``) and keeps
+the best ratio ever recorded under ``best.calls``.  This guard is
+cheap (no simulation) so it runs in the fast CI lane too, and fails
+when the recorded current ratio has slid more than 10% below the
+recorded best — i.e. when a perf regression was *measured and
+committed* without being acknowledged.
+
+If a regression is intentional (e.g. trading calls for clarity),
+update ``best.calls`` in the artifact alongside the change and say so
+in the PR.
+"""
+
+import json
+from pathlib import Path
+
+BENCH_PATH = (
+    Path(__file__).resolve().parent.parent / "benchmarks" / "BENCH_simcore.json"
+)
+
+# Fraction of the recorded-best call-count ratio the current ratio
+# must retain.
+ALLOWED_REGRESSION = 0.10
+
+
+def test_bench_artifact_exists_and_parses():
+    payload = json.loads(BENCH_PATH.read_text())
+    assert payload["speedup"]["calls"] > 0
+    assert payload["baseline"]["total_calls"] > 0
+
+
+def test_call_ratio_not_regressed_vs_recorded_best():
+    payload = json.loads(BENCH_PATH.read_text())
+    current = payload["speedup"]["calls"]
+    best = payload.get("best", {}).get("calls", current)
+    assert best > 0
+    floor = (1.0 - ALLOWED_REGRESSION) * best
+    assert current >= floor, (
+        f"deterministic call-count speedup regressed: current {current:.2f}x "
+        f"is more than {ALLOWED_REGRESSION:.0%} below the recorded best "
+        f"{best:.2f}x (floor {floor:.2f}x). If intentional, update "
+        f"best.calls in benchmarks/BENCH_simcore.json and justify it."
+    )
+
+
+def test_best_is_monotone_upper_bound():
+    payload = json.loads(BENCH_PATH.read_text())
+    best = payload.get("best", {}).get("calls", 0.0)
+    # The refresh logic takes max(current, previous best); the artifact
+    # must never be committed with best below current.
+    assert best >= payload["speedup"]["calls"] * (1.0 - 1e-12)

@@ -1,9 +1,13 @@
 """Property-based tests for the buffer balancer."""
 
+import pytest
+
 import hypothesis.strategies as st
 from hypothesis import given, settings
 
 from repro.core.balancer import BufferBalancer, Candidate
+
+pytestmark = pytest.mark.slow  # full tier-1 lane only (see scripts/ci.sh)
 
 
 @st.composite

@@ -1,9 +1,13 @@
 """Property-based tests for the block pool allocator."""
 
+import pytest
+
 import hypothesis.strategies as st
 from hypothesis import given, settings
 
 from repro.memory.blocks import BlockPool, OutOfMemory
+
+pytestmark = pytest.mark.slow  # full tier-1 lane only (see scripts/ci.sh)
 
 # An operation is (op, owner, n_blocks).
 operations = st.lists(

@@ -1,9 +1,13 @@
 """Property-based tests for the client buffer's consumption model."""
 
+import pytest
+
 import hypothesis.strategies as st
 from hypothesis import given, settings
 
 from repro.client.buffer import ClientBuffer
+
+pytestmark = pytest.mark.slow  # full tier-1 lane only (see scripts/ci.sh)
 
 gaps = st.lists(st.floats(min_value=0.0, max_value=2.0), min_size=1, max_size=80)
 rates = st.floats(min_value=0.5, max_value=50.0)

@@ -1,11 +1,15 @@
 """Property-based tests for the event engine and arrival processes."""
 
+import pytest
+
 import hypothesis.strategies as st
 import numpy as np
 from hypothesis import given, settings
 
 from repro.sim.engine import SimEngine
 from repro.workload.arrivals import gamma_arrivals, poisson_arrivals
+
+pytestmark = pytest.mark.slow  # full tier-1 lane only (see scripts/ci.sh)
 
 
 class TestEngineProperties:

@@ -7,12 +7,16 @@ dirty counts stay non-negative, and draining the event engine leaves
 no orphaned blocks.
 """
 
+import pytest
+
 import hypothesis.strategies as st
 from hypothesis import given, settings
 
 from repro.memory.blocks import OutOfMemory
 from repro.memory.kv_manager import HierarchicalKVManager, KVManagerConfig
 from repro.sim.engine import SimEngine
+
+pytestmark = pytest.mark.slow  # full tier-1 lane only (see scripts/ci.sh)
 
 N_REQUESTS = 4
 

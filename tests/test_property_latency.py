@@ -13,6 +13,8 @@ from repro.gpu.hardware import HARDWARE_SPECS, get_hardware
 from repro.gpu.latency import LatencyModel
 from repro.gpu.models import MODEL_SPECS, get_model
 
+pytestmark = pytest.mark.slow  # full tier-1 lane only (see scripts/ci.sh)
+
 PAIRINGS = [
     (hw, model)
     for hw in ("h200", "rtx4090", "a6000", "ascend910b")

@@ -1,5 +1,7 @@
 """Property-based tests for the QoS metric and utility functions."""
 
+import pytest
+
 import hypothesis.strategies as st
 from hypothesis import given, settings
 
@@ -10,6 +12,8 @@ from repro.core.qos import (
     token_utility,
 )
 from repro.core.utility import UtilityParams, request_priority, stall_risk
+
+pytestmark = pytest.mark.slow  # full tier-1 lane only (see scripts/ci.sh)
 
 occupancy = st.floats(min_value=0.0, max_value=10_000.0)
 output_lens = st.integers(min_value=1, max_value=10_000)

@@ -6,11 +6,15 @@ finished with exactly its output length, memory fully reclaimed,
 token timestamps monotone, and no tokens lost or duplicated.
 """
 
+import pytest
+
 import hypothesis.strategies as st
 from hypothesis import given, settings
 
 from repro.experiments.systems import build_system
 from repro.workload.request import Request, RequestState
+
+pytestmark = pytest.mark.slow  # full tier-1 lane only (see scripts/ci.sh)
 
 
 @st.composite

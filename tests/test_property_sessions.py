@@ -1,5 +1,7 @@
 """Property-based tests for multi-turn session workloads."""
 
+import pytest
+
 import hypothesis.strategies as st
 from hypothesis import given, settings
 
@@ -7,6 +9,8 @@ from repro.core.scheduler import TokenFlowScheduler
 from repro.serving.config import ServingConfig
 from repro.serving.server import ServingSystem
 from repro.workload.sessions import SessionDriver, SessionSpec
+
+pytestmark = pytest.mark.slow  # full tier-1 lane only (see scripts/ci.sh)
 
 
 @st.composite

@@ -13,6 +13,8 @@ from repro.experiments.runner import run_comparison
 from repro.sim.rng import RngStreams
 from repro.workload.builder import RateMixture, WorkloadBuilder, WorkloadSpec
 
+pytestmark = pytest.mark.slow  # full tier-1 lane only (see scripts/ci.sh)
+
 # Regenerate after intentional behaviour changes with:
 #   python -c "see tests/test_regression_golden.py docstring scenario"
 GOLDEN = {
