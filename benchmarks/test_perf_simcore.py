@@ -27,7 +27,7 @@ from repro.client.buffer import ClientBuffer
 from repro.experiments.controlled import TABLE1, build_workload, serving_kwargs
 from repro.experiments.runner import run_comparison
 from repro.sim.engine import SimEngine
-from repro.sim.profiling import profile_call
+from repro.sim.profiling import bare_run_rss_kb, profile_call
 
 # --- pre-PR baseline --------------------------------------------------------
 # Measured on the seed tree (commit 962222f) in this container:
@@ -68,6 +68,21 @@ MIN_CALL_SPEEDUP = 3.0
 MIN_WALL_SPEEDUP = 2.0
 
 BENCH_PATH = Path(__file__).resolve().parent / "BENCH_simcore.json"
+
+# The baseline's 117 MiB peak_rss_kb was measured on a *bare* seed-tree
+# run, so the comparable optimized figure must come from a bare run too
+# (in-process ru_maxrss is a process-lifetime high-water mark — under
+# pytest + cProfile it reports the suite's hungriest moment, which once
+# made the artifact claim 310 MB for an 80 MB workload).  This code runs
+# in a fresh interpreter; it must stay import-light and deterministic.
+BARE_RSS_CODE = """\
+from repro.experiments.controlled import TABLE1, build_workload, serving_kwargs
+from repro.experiments.runner import run_comparison
+setup = TABLE1[("h200", "a")]
+requests = build_workload(setup, scale=1.0, seed=0)
+run_comparison(("tokenflow",), requests, horizon=50_000.0,
+               **serving_kwargs(setup, 1.0))
+"""
 
 
 def _metrics_of(report) -> dict:
@@ -187,6 +202,20 @@ def test_perf_simcore_table1_h200a(benchmark):
             previous = {}
     best_calls = max(call_ratio, previous.get("best", {}).get("calls", 0.0))
 
+    # Apples-to-apples RSS: a bare subprocess running just the workload
+    # (see BARE_RSS_CODE).  Soft metric — on a subprocess failure (e.g.
+    # a sandbox forbidding spawns) the previous recorded value is
+    # carried forward, or the figure is marked unavailable, rather than
+    # failing a bit-identical build; the trajectory guard keys off
+    # peak_rss_source and only enforces measured values.
+    bare_rss_kb = bare_run_rss_kb(BARE_RSS_CODE)
+    if bare_rss_kb is not None:
+        rss_source = "bare"
+    else:
+        prev_opt = previous.get("optimized", {})
+        bare_rss_kb = prev_opt.get("peak_rss_kb", 0)
+        rss_source = "carried" if bare_rss_kb else "unavailable"
+
     payload = {
         "workload": "TABLE1 h200/(a) scale=1.0 seed=0, tokenflow",
         "baseline": BASELINE | {"metrics": BASELINE_METRICS},
@@ -194,12 +223,14 @@ def test_perf_simcore_table1_h200a(benchmark):
             "wall_s": report.wall_s,
             "profiled_s": report.profiled_s,
             "total_calls": report.total_calls,
-            "peak_rss_kb": report.peak_rss_kb,
+            # Bare-run figure, comparable to baseline.peak_rss_kb (the
+            # in-process high-water mark under pytest+cProfile is kept
+            # separately for trend-tracking only).
+            "peak_rss_kb": bare_rss_kb,
+            "peak_rss_source": rss_source,
+            "peak_rss_suite_kb": report.peak_rss_kb,
             "metrics": metrics,
         },
-        # peak_rss_kb is process-wide (includes pytest + the rest of
-        # the suite), so it is recorded for trend-tracking but not
-        # expressed as a ratio against the bare-process baseline.
         "speedup": {
             "wall": wall_speedup,
             "calls": call_ratio,
@@ -215,8 +246,9 @@ def test_perf_simcore_table1_h200a(benchmark):
         f"  wall   {report.wall_s:.3f} s  ({wall_speedup:.2f}x vs baseline "
         f"{BASELINE['wall_s']:.2f} s)\n"
         f"  calls  {report.total_calls:,}  ({call_ratio:.2f}x fewer)\n"
-        f"  rss    {report.peak_rss_kb / 1024:.1f} MiB (baseline "
-        f"{BASELINE['peak_rss_kb'] / 1024:.1f} MiB)\n"
+        f"  rss    {bare_rss_kb / 1024:.1f} MiB bare (baseline "
+        f"{BASELINE['peak_rss_kb'] / 1024:.1f} MiB; suite high-water "
+        f"{report.peak_rss_kb / 1024:.1f} MiB)\n"
         f"  events/s {micro['event_queue_events_per_s']:,.0f} · "
         f"buffer ops/s {micro['client_buffer_ops_per_s']:,.0f}\n"
         f"  artifact -> {BENCH_PATH.name}"

@@ -6,7 +6,10 @@
 #                          including the perf smoke
 #   scripts/ci.sh --fast   fast lane: everything not marked `slow`
 #                          (unit/integration/scenario/orchestration
-#                          tests; targets < 60 s)
+#                          tests, including the fused-vs-unfused decode
+#                          parity checks in tests/test_serving_fusion.py),
+#                          plus a 2-worker `repro matrix` smoke cell;
+#                          targets < 60 s
 #
 # The perf wall-clock gate is relaxed in both lanes so slow/loaded
 # runners cannot fail a bit-identical build (the deterministic
@@ -32,8 +35,15 @@ export REPRO_PERF_NO_WALL_GATE=1
 # what trailing steps are added after this block.
 rc=0
 if [[ "$FAST" -eq 1 ]]; then
-  echo "== fast lane: pytest -m 'not slow' =="
+  echo "== fast lane: pytest -m 'not slow' (incl. decode-fusion parity) =="
   python -m pytest -x -q -m "not slow" || rc=$?
+  if [[ "$rc" -eq 0 ]]; then
+    # Orchestrator smoke: one tiny scenario cell across 2 worker
+    # processes, uncached, so a broken pool/pickling path fails fast.
+    echo "== fast lane: repro matrix --jobs 2 smoke cell =="
+    python -m repro.cli matrix table1-rtx4090-a \
+      --jobs 2 --scale 0.1 --seeds 0 --no-cache || rc=$?
+  fi
 else
   echo "== tier-1: full suite (tests/ + benchmarks/, incl. perf smoke) =="
   python -m pytest -x -q || rc=$?

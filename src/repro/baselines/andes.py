@@ -65,6 +65,13 @@ class AndesScheduler(BaseScheduler):
         return 0.0003
 
     # --- fast path: FCFS admission while memory allows -----------------------
+    def can_fuse_decode(self, view: SystemView) -> bool:
+        """Boundary is stateless and pure (FCFS admission only), so ask
+        it directly: an empty decision now stays empty for the whole
+        fused window — no free slot appears and free blocks only
+        shrink, so a blocked head stays blocked."""
+        return self.on_iteration_boundary(view).is_empty()
+
     def on_iteration_boundary(self, view: SystemView) -> SchedulerDecision:
         decision = SchedulerDecision()
         watermark = int(view.kv.gpu_pool.capacity * self.params.admission_watermark_frac)

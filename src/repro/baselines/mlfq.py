@@ -93,6 +93,17 @@ class MLFQScheduler(BaseScheduler):
             self._served_tokens[request.req_id] = request.generated
 
     # --- scheduling ---------------------------------------------------------------
+    def can_fuse_decode(self, view: SystemView) -> bool:
+        """Boundary only admits waiting requests, so ask it directly:
+        an empty decision now stays empty for the whole fused window
+        (MLFQ *skips* blocked candidates rather than breaking, but
+        every candidate's block condition is monotone — free blocks
+        only shrink and no slot appears).  The boundary's only side
+        effect, lazy level registration, is idempotent and happens on
+        this gate call exactly as the skipped calls would have done it.
+        """
+        return self.on_iteration_boundary(view).is_empty()
+
     def on_iteration_boundary(self, view: SystemView) -> SchedulerDecision:
         """Admit by (level, arrival) priority while memory allows."""
         decision = SchedulerDecision()

@@ -30,6 +30,19 @@ class SGLangScheduler(BaseScheduler):
         # ~0.07 ms per pass, the figure the paper quotes for SGLang (§7.6).
         return self._scheduling_cost
 
+    def can_fuse_decode(self, view: SystemView) -> bool:
+        """Boundary is stateless and pure, so ask it directly.
+
+        An empty decision now stays empty for the whole fused window:
+        every blocking condition the boundary can hit (all decode
+        slots taken; the FCFS-first preempted request or the waiting
+        head memory-blocked) is monotone inside a window, where the
+        active count is frozen and free blocks only shrink.  Reusing
+        the real boundary keeps the gate in lock-step with any future
+        admission-rule change.
+        """
+        return self.on_iteration_boundary(view).is_empty()
+
     def on_iteration_boundary(self, view: SystemView) -> SchedulerDecision:
         """Admit in strict FCFS order while the prompt fits in memory."""
         decision = SchedulerDecision()

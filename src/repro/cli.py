@@ -18,10 +18,13 @@ regenerates one table/figure (same runners the benchmark suite uses);
 expands scenarios × routers × replicas × seeds into independent jobs
 and runs them across worker processes (``--list`` previews the cells);
 ``profile`` runs one Table 1 cell under cProfile and prints the
-hot-spot report (wall seconds, function calls, peak RSS) so perf
-regressions in the simulation core are measurable from the command
-line; ``selftest`` runs the tier-1 CI flow (``scripts/ci.sh``; pass
-``--fast`` for the not-slow lane).
+hot-spot report (wall seconds, function calls, peak RSS, tottime +
+cumulative tables) so perf regressions in the simulation core are
+measurable from the command line — ``--json PATH`` writes it as a
+diffable CI artifact and ``--no-fuse`` disables macro-step decode
+fusion so fusion wins/regressions can be diffed; ``selftest`` runs the
+tier-1 CI flow (``scripts/ci.sh``; pass ``--fast`` for the not-slow
+lane).
 """
 
 from __future__ import annotations
@@ -290,6 +293,8 @@ def cmd_selftest(args) -> int:
 
 
 def cmd_profile(args) -> int:
+    import json
+
     from repro.experiments.controlled import TABLE1, build_workload, serving_kwargs
     from repro.sim.profiling import profile_call
 
@@ -301,18 +306,34 @@ def cmd_profile(args) -> int:
         return 2
     setup = TABLE1[key]
     requests = build_workload(setup, scale=args.scale, seed=args.seed)
+    fuse = not args.no_fuse
 
     def run():
         return run_comparison(
-            (args.system,), requests, horizon=50_000.0,
+            (args.system,), requests, horizon=50_000.0, fuse_decode=fuse,
             **serving_kwargs(setup, args.scale),
         )
 
     report = profile_call(run, top=args.top, wall_runs=1)
     run_report = report.result[args.system]
     print(f"{setup.label()} · {args.system} · {len(requests)} requests, "
-          f"{run_report.total_tokens} tokens")
+          f"{run_report.total_tokens} tokens"
+          + ("" if fuse else " · fuse_decode=off"))
     print(report.render(top=args.top))
+    if args.json:
+        payload = report.to_dict(top=args.top)
+        payload["workload"] = {
+            "gpu": args.gpu, "setup": args.setup, "system": args.system,
+            "scale": args.scale, "seed": args.seed,
+            "n_requests": len(requests),
+            "total_tokens": run_report.total_tokens,
+            "fuse_decode": fuse,
+        }
+        payload["executor_stats"] = dict(run_report.executor_stats)
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {path}")
     return 0
 
 
@@ -425,6 +446,12 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--seed", type=int, default=0)
     prof.add_argument("--top", type=int, default=20,
                       help="hot spots to print (default 20)")
+    prof.add_argument("--json", default=None, metavar="PATH",
+                      help="also write the report (tottime + cumulative "
+                           "tables) as JSON — a diffable CI artifact")
+    prof.add_argument("--no-fuse", action="store_true",
+                      help="disable macro-step decode fusion "
+                           "(fuse_decode=False) to diff fusion wins")
     prof.set_defaults(func=cmd_profile)
     return parser
 

@@ -37,15 +37,31 @@ class SlidingWindowMean:
     def observe_many(self, values) -> None:
         """Observe each element in order (bulk form of :meth:`observe`
         — identical arithmetic, one call instead of one per sample)."""
+        self.observe_bulk(list(values))
+
+    def observe_bulk(self, values: list) -> None:
+        """The single bulk implementation behind :meth:`observe_many`.
+
+        Replays :meth:`observe`'s exact subtract-then-add float
+        sequence over plain list indexing (the running ``_sum`` depends
+        on the whole observation history, so it must be replayed, not
+        recomputed) and lets the deque's ``maxlen`` evict in one
+        ``extend`` — no per-sample method calls.  The fused decode path
+        feeds skipped per-iteration footprint observations through
+        here, so bulk-vs-sequential bit-parity is a contract
+        (pinned by tests/test_core_estimator.py).
+        """
         window = self._window
-        deque_values = self._values
+        dq = self._values
+        n_old = len(dq)
+        combined = list(dq) + values
         total = self._sum
-        for value in values:
-            if len(deque_values) == window:
-                total -= deque_values[0]
-            deque_values.append(value)
-            total += value
+        for i in range(n_old, len(combined)):
+            if i >= window:
+                total -= combined[i - window]
+            total += combined[i]
         self._sum = total
+        dq.extend(values)
 
     def mean(self) -> Optional[float]:
         if not self._values:

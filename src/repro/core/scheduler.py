@@ -169,6 +169,43 @@ class TokenFlowScheduler(BaseScheduler):
             ws_size += 1
         return decision
 
+    # --- macro-step decode fusion ---------------------------------------------
+    def can_fuse_decode(self, view: SystemView) -> bool:
+        """Boundary calls are skippable when they provably cannot act.
+
+        With nothing waiting and either no preempted requests or no
+        idle decode slot (``active >= max_batch``; within a fused
+        window the active count is frozen and free memory only
+        shrinks), :meth:`on_iteration_boundary` can neither admit nor
+        resume — its only side effect is the β footprint observation,
+        which :meth:`on_fused_boundaries` replays exactly.
+        """
+        if view.waiting:
+            return False
+        if view.preempted:
+            active = (
+                len(view.running) + len(view.loading) + len(view.prefill_queue)
+            )
+            if active < view.max_batch:
+                return False
+        return True
+
+    def on_fused_boundaries(self, running, n_iters: int) -> None:
+        """Replay the β observations of the skipped boundary calls.
+
+        Skipped boundary ``j`` (1-based) would have observed every
+        running request at its then-current context length — ``j``
+        tokens past the value at the window's first (real) boundary.
+        """
+        policy = self._working_set
+        if policy is None or n_iters <= 0:
+            return
+        base = [r.prompt_len + r.generated for r in running]
+        observations: list = []
+        for j in range(1, n_iters + 1):
+            observations += [float(c + j) for c in base]
+        policy.replay_footprints(observations)
+
     def _route_resume(
         self, view: SystemView, request, decision: SchedulerDecision
     ) -> None:

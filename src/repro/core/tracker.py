@@ -130,6 +130,31 @@ class RequestTracker:
         # The buffer's occupancy at this very instant changed.
         self._memo_occ.pop(req_id, None)
 
+    def deliver_tokens(self, req_id: int, timestamps: list) -> None:
+        """Bulk :meth:`deliver_token`: one token at each instant.
+
+        Equivalent to calling :meth:`deliver_token` once per timestamp
+        in order, with the per-token request/buffer bookkeeping done in
+        bulk (the fused decode path's per-request token application).
+        """
+        entry = self._entries.get(req_id)
+        if entry is None:
+            raise KeyError(f"request {req_id} is not tracked")
+        request = entry.request
+        n = len(timestamps)
+        if request.generated + n > request.output_len:
+            raise RuntimeError(
+                f"request {req_id} would exceed its {request.output_len} tokens"
+            )
+        if request.ttft is None:
+            first = timestamps[0]
+            request.ttft = first - request.arrival_time
+            request.first_token_time = first
+        request.generated += n
+        request.token_times.extend(timestamps)
+        entry.buffer.deliver_many(timestamps)
+        self._memo_occ.pop(req_id, None)
+
     def mark_finished(self, req_id: int, timestamp: float) -> None:
         entry = self.get(req_id)
         entry.request.finish_time = timestamp

@@ -100,6 +100,17 @@ class WorkingSetPolicy:
             [float(r.prompt_len + r.generated) for r in requests]
         )
 
+    def replay_footprints(self, context_tokens: list) -> None:
+        """Exact bulk replay of skipped :meth:`observe_footprints` calls.
+
+        The fused decode path skips per-iteration scheduler boundaries
+        whose only side effect is this β observation; it hands the
+        full (ordered) observation sequence here so the estimator ends
+        in the bit-identical state the per-iteration calls would have
+        produced.
+        """
+        self._beta.observe_bulk(context_tokens)
+
     def beta(self) -> float:
         mean = self._beta.mean()
         assert mean is not None

@@ -48,6 +48,7 @@ def run_comparison(
     max_batch: int = 64,
     horizon: float = 50_000.0,
     tokenflow_params=None,
+    fuse_decode: bool = True,
     jobs: int = 1,
 ) -> dict:
     """Run each named system on identical workload copies.
@@ -68,6 +69,7 @@ def run_comparison(
             max_batch=max_batch,
             horizon=horizon,
             tokenflow_params=tokenflow_params,
+            fuse_decode=fuse_decode,
         )
         for name in system_names
     ]

@@ -75,6 +75,7 @@ def build_system(
     max_batch: int = 64,
     block_size: int = 16,
     tokenflow_params: Optional[TokenFlowParams] = None,
+    fuse_decode: bool = True,
     record_token_traces: bool = False,
 ) -> ServingSystem:
     """Assemble one serving instance for a named system.
@@ -91,6 +92,7 @@ def build_system(
         max_batch=max_batch,
         block_size=block_size,
         kv=make_kv_config(name, block_size),
+        fuse_decode=fuse_decode,
         record_token_traces=record_token_traces,
     )
     system = ServingSystem(config, scheduler)

@@ -102,6 +102,27 @@ class LLMExecutor:
             if len(window) > self.CAPACITY_WINDOW:
                 window.pop(0)
 
+    def commit_fused(self, result: IterationResult, step_durations: Sequence) -> None:
+        """Record ``len(step_durations)`` decode iterations in one call.
+
+        Equivalent to committing one :class:`IterationResult` per fused
+        iteration (same batch, per-iteration durations): busy time
+        accumulates with the identical per-iteration float additions,
+        and the capacity window ends with the exact entries the
+        sequential appends would have left behind.
+        """
+        stats = self.stats
+        k = len(step_durations)
+        tokens = result.tokens
+        for duration in step_durations:
+            stats.busy_time += duration
+        stats.decode_iterations += k
+        stats.decode_tokens += tokens * k
+        window = stats.recent_decode
+        window.extend((tokens, duration) for duration in step_durations)
+        if len(window) > self.CAPACITY_WINDOW:
+            del window[: len(window) - self.CAPACITY_WINDOW]
+
     def capacity_estimate(self) -> float:
         """Γ: recent decode throughput in tokens/s (paper §4.3).
 

@@ -62,8 +62,18 @@ class LatencyModel:
             if length < 0:
                 raise ValueError("context lengths must be non-negative")
             total += length
-        batch = len(lengths)
-        kv_bytes = self.model.kv_bytes_per_token * float(total)
+        return self.decode_step_time_from_total(total, len(lengths))
+
+    def decode_step_time_from_total(self, total_context: int, batch: int) -> float:
+        """:meth:`decode_step_time` from the summed context length.
+
+        The single copy of the decode roofline float sequence: both the
+        per-iteration executor path and the fused macro-step walk (which
+        advances ``total_context`` by ``batch`` per iteration in closed
+        form) route through here, so their completion instants can never
+        drift apart.
+        """
+        kv_bytes = self.model.kv_bytes_per_token * float(total_context)
         mem_time = (self.model.weight_bytes + kv_bytes) / self.hardware.effective_mem_bandwidth
         compute_time = self.model.flops_per_token * batch / self.hardware.effective_flops
         return max(mem_time, compute_time) + self.hardware.iteration_overhead_s

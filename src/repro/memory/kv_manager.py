@@ -32,7 +32,7 @@ the pool on every generated token.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional
+from typing import Callable, Iterable, Optional, Sequence
 
 from repro.memory.blocks import BlockPool, OutOfMemory
 from repro.memory.pcie import PCIeLink
@@ -226,6 +226,129 @@ class HierarchicalKVManager:
             return needed
         growth = needed - held
         return growth if growth > 0 else 0
+
+    # --- macro-step decode fusion ----------------------------------------------
+    def max_fused_decode_iterations(self, req_ids: Sequence, k_cap: int) -> int:
+        """Largest ``k <= k_cap`` such that ``k`` decode tokens per
+        request fit in the GPU pool.
+
+        Pure query over the closed-form block growth (each request's
+        block count after ``k`` more tokens is arithmetic on its
+        record), binary-searched because growth is monotone in ``k``.
+        The fused decode path uses it to stop a macro-step strictly
+        before capacity exhaustion — the unfused path would hit the
+        reactive-preemption branch there, which fusion must never skip.
+        """
+        if k_cap <= 0:
+            return 0
+        free = self.gpu_pool.free
+        bs = self._block_size
+        usage_get = self.gpu_pool.usage.get
+        records = self._records
+        entries = []
+        for rid in req_ids:
+            record = records[rid]
+            entries.append(
+                (record.gpu_tokens, usage_get(rid, 0) - record.pending_free_blocks)
+            )
+
+        def growth(k: int) -> int:
+            total = 0
+            for tokens, held in entries:
+                need = (tokens + k - 1) // bs + 1 - held
+                if need > 0:
+                    total += need
+            return total
+
+        if growth(k_cap) <= free:
+            return k_cap
+        lo, hi = 0, k_cap  # growth(lo) fits, growth(hi) does not
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if growth(mid) <= free:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    def cpu_room_for_fused_drains(self, req_ids: Sequence, k: int) -> bool:
+        """True if ``k - 1`` uniform one-token write drains for these
+        requests keep the host pool above the fast-path watermark.
+
+        The real drain's uniform path requires ``cpu_pool.free >=
+        n_dirty`` *every* iteration; host usage only grows during a
+        fused window, so checking the post-window free count against
+        that bound covers every intermediate drain.
+        """
+        if k <= 1:
+            return True
+        bs = self._block_size
+        used_by = self.cpu_pool.usage.get
+        records = self._records
+        growth = 0
+        for rid in req_ids:
+            record = records[rid]
+            target = record.gpu_tokens + k - 1
+            need = -(-target // bs) - used_by(rid, 0)
+            if need > 0:
+                growth += need
+        return self.cpu_pool.free - growth >= len(req_ids)
+
+    def fused_decode_advance(
+        self,
+        req_ids: Sequence,
+        k: int,
+        drain_starts: Optional[Sequence] = None,
+    ) -> None:
+        """Apply ``k`` decode iterations of KV bookkeeping in one update.
+
+        Equivalent to ``k`` rounds of per-token :meth:`on_decode_token`
+        over the batch interleaved with ``k - 1`` uniform-fast-path
+        :meth:`drain_writes` calls at ``drain_starts`` (the fused
+        window's intermediate iteration boundaries): GPU block growth
+        lands as one allocation per request, the host copy advances to
+        the second-to-last token, and each request ends with exactly
+        its newest token dirty.  ``drain_starts`` is ``None`` when
+        write-through (or offload) is disabled — then only the GPU side
+        grows, as the per-iteration path would.
+
+        Preconditions (the serving loop checks them before fusing): all
+        requests resident, every dirty tail fully synced beforehand,
+        GPU growth within :meth:`max_fused_decode_iterations`, host
+        room per :meth:`cpu_room_for_fused_drains`, and per-iteration
+        d2h budget covering one token per request.
+        """
+        if k <= 0:
+            return
+        bs = self._block_size
+        gpu_pool = self.gpu_pool
+        usage_get = gpu_pool.usage.get
+        records = self._records
+        dirty = self._dirty
+        with_drains = drain_starts is not None and k > 1
+        for rid in req_ids:
+            record = records[rid]
+            tokens = record.gpu_tokens
+            needed = (tokens + k - 1) // bs + 1
+            held = usage_get(rid, 0) - record.pending_free_blocks
+            if needed > held:
+                gpu_pool.allocate(rid, needed - held)
+            record.gpu_tokens = tokens + k
+            if with_drains:
+                target = tokens + k - 1
+                if -(-target // bs) > self.cpu_pool.usage.get(rid, 0):
+                    self._grow_cpu_copy(record, target)
+                record.cpu_tokens = target
+            dirty[rid] = record
+        if with_drains:
+            n = len(req_ids)
+            nbytes = self.kv_bytes_per_token
+            d2h = self.link.d2h
+            stats = self.stats
+            per_drain_bytes = n * nbytes
+            for start in drain_starts:
+                d2h.occupy_bulk(n, nbytes, start)
+                stats["write_through_bytes"] += per_drain_bytes
 
     def release(self, req_id: int) -> None:
         """Drop all state for a finished (or aborted) request."""

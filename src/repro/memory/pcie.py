@@ -97,6 +97,27 @@ class PCIeDirection:
         self._bytes_moved += nbytes
         self._busy_time += duration
 
+    def occupy_bulk(self, n: int, nbytes_each: float, now: float) -> None:
+        """Account ``n`` equal chunked-writer transfers at ``now`` at once.
+
+        One call in place of ``n`` :meth:`occupy` calls with the same
+        size (the fused decode path's per-iteration uniform write
+        drain).  ``busy_until`` is *live* simulation state — future
+        budget and queueing queries read it — so it replays the exact
+        per-transfer float additions; the byte/busy-time totals only
+        feed reporting and are summed in closed form (within float
+        summation-order error of the sequential path).
+        """
+        if n <= 0 or nbytes_each <= 0:
+            return
+        duration = nbytes_each / self.bandwidth
+        busy = now if now >= self._busy_until else self._busy_until
+        for _ in range(n):
+            busy = busy + duration
+        self._busy_until = busy
+        self._bytes_moved += nbytes_each * n
+        self._busy_time += duration * n
+
 
 class PCIeLink:
     """The full-duplex host link: h2d (loads) + d2h (evictions)."""

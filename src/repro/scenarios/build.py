@@ -108,6 +108,7 @@ def build_run(spec: ScenarioSpec, requests: Optional[list] = None) -> ScenarioRu
             max_batch=spec.max_batch,
             block_size=spec.block_size,
             tokenflow_params=spec.tokenflow_params,
+            fuse_decode=spec.fuse_decode,
             record_token_traces=spec.record_token_traces,
         )
         return ScenarioRun(spec=spec, target=system, requests=requests)
@@ -120,6 +121,7 @@ def build_run(spec: ScenarioSpec, requests: Optional[list] = None) -> ScenarioRu
             max_batch=spec.max_batch,
             block_size=spec.block_size,
             kv=make_kv_config(spec.system, spec.block_size),
+            fuse_decode=spec.fuse_decode,
             record_token_traces=spec.record_token_traces,
         )
         for _ in range(spec.replicas)

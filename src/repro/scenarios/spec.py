@@ -43,6 +43,10 @@ class ScenarioSpec:
             workload (None for ad-hoc specs driven with explicit
             request lists).
         tokenflow_params: optional TokenFlow parameter overrides.
+        fuse_decode: macro-step decode fusion switch (see
+            :class:`~repro.serving.config.ServingConfig`); off runs one
+            event per decode iteration, for debugging and fused-vs-
+            unfused parity/perf diffs.
         record_token_traces: keep per-token buffer traces (plots/export).
     """
 
@@ -61,6 +65,7 @@ class ScenarioSpec:
     horizon: float = 50_000.0
     workload: Optional[Callable[["ScenarioSpec"], list]] = None
     tokenflow_params: Optional[object] = None
+    fuse_decode: bool = True
     record_token_traces: bool = False
 
     def __post_init__(self) -> None:

@@ -115,6 +115,35 @@ class BaseScheduler(abc.ABC):
         """Periodic decision (preemptions/resumptions); default: nothing."""
         return SchedulerDecision()
 
+    # --- macro-step decode fusion protocol ---------------------------------
+    def can_fuse_decode(self, view: SystemView) -> bool:
+        """May the serving loop skip boundary calls during a fused window?
+
+        The fused decode path advances multiple iterations in one
+        event, calling :meth:`on_iteration_boundary` only for the
+        first.  A scheduler returns True only when it can guarantee
+        that, from this state, every skipped boundary call would have
+        produced an *empty* decision for as long as the decode batch
+        composition is frozen (no arrivals, ticks, completions, or
+        memory events occur inside a window — GPU free blocks only
+        shrink).  Schedulers with boundary side effects must replicate
+        them in :meth:`on_fused_boundaries`.
+
+        Default: ``False`` — unknown policies never fuse, which keeps
+        third-party schedulers bit-for-bit on the per-iteration path.
+        """
+        return False
+
+    def on_fused_boundaries(self, running: Sequence, n_iters: int) -> None:
+        """Replicate the bookkeeping of ``n_iters`` skipped boundaries.
+
+        Called once per fused window (before token state advances) in
+        place of the ``n_iters`` :meth:`on_iteration_boundary` calls
+        the window elided; the ``j``-th skipped boundary would have
+        observed each running request with ``j`` extra generated
+        tokens.  Default: no bookkeeping.
+        """
+
     def select_oom_victims(self, view: SystemView, blocks_needed: int) -> list:
         """Pick RUNNING requests to evict when allocation fails.
 

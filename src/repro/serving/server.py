@@ -97,6 +97,9 @@ class ServingSystem:
         self._busy = False            # an iteration is in flight
         self._in_scheduler = False    # re-entrancy guard for _kick
         self._unfinished = 0
+        # The boundary-time SystemView of the iteration being planned;
+        # the decode fusion plane consults it (lists are live).
+        self._iter_view: Optional[SystemView] = None
         self.timeline: list = []      # (t, queued, running) samples
         # Timeline downsampling: once the sample list hits the cap it
         # is decimated 2:1 and the sampling stride doubles, so long
@@ -151,7 +154,9 @@ class ServingSystem:
             decision = self.scheduler.on_tick(self.view())
             self.offload.execute(decision)
             overhead += self.scheduler.scheduling_cost_s()
-        boundary = self.scheduler.on_iteration_boundary(self.view())
+        view = self.view()
+        self._iter_view = view
+        boundary = self.scheduler.on_iteration_boundary(view)
         self.offload.execute(boundary)
         overhead += self.scheduler.scheduling_cost_s()
 
@@ -209,6 +214,10 @@ class ServingSystem:
 
     # --- glue ------------------------------------------------------------------
     def _sample_timeline(self) -> None:
+        """Record a (t, queued, running) sample at the current instant."""
+        self._sample_timeline_at(self.engine.now())
+
+    def _sample_timeline_at(self, now: float) -> None:
         """Record a (t, queued, running) sample, downsampling over time.
 
         Long runs would otherwise grow the timeline without bound: when
@@ -216,6 +225,11 @@ class ServingSystem:
         2:1 and the stride doubles, bounding memory at the cap while
         keeping an evenly-spaced record.  Runs shorter than the cap
         (every test/figure workload) are recorded exactly as before.
+
+        ``now`` is a parameter (not read off the engine) because the
+        fused decode path emits the samples of a whole macro-step
+        window — at its historical iteration boundaries — from the
+        window's final completion event.
         """
         self._timeline_pending += 1
         if self._timeline_pending < self._timeline_stride:
@@ -224,7 +238,7 @@ class ServingSystem:
         timeline = self.timeline
         timeline.append(
             (
-                self.engine.now(),
+                now,
                 len(self.waiting) + len(self.prefill_queue),
                 len(self.running),
             )
@@ -292,6 +306,8 @@ class ServingSystem:
                 "prefill_tokens": self.executor.stats.prefill_tokens,
                 "decode_tokens": self.executor.stats.decode_tokens,
                 "busy_time": self.executor.stats.busy_time,
+                "fused_windows": self.decode_stream.fused_windows,
+                "fused_iterations": self.decode_stream.fused_iterations,
             },
             kv_stats=kv_stats,
             scheduler_stats=scheduler_stats,

@@ -299,7 +299,17 @@ class MemoryPressureStage:
 
 class DecodeStream:
     """Runs planned iterations on the executor and streams generated
-    tokens into client buffers (the per-token hot path)."""
+    tokens into client buffers (the per-token hot path).
+
+    The decode path has a *fusion plane*: when the batch provably
+    cannot change before the next decision horizon — the earliest
+    pending engine event (tick, arrival, cancel, transfer completion),
+    the earliest request completion, GPU/host capacity exhaustion, or
+    the per-iteration write-drain budget — it advances all K
+    iterations up to that horizon in one event via closed-form bulk
+    updates (see :meth:`_plan_fused` / :meth:`complete_fused` and the
+    "Fusion plane" section of ARCHITECTURE.md).
+    """
 
     def __init__(self, system: "ServingSystem", memory: MemoryPressureStage) -> None:
         self.system = system
@@ -312,7 +322,11 @@ class DecodeStream:
         self.running = system.running
         self.prefill_queue = system.prefill_queue
         self.finished = system.finished
+        self.composer = system.composer
         self.last_token_time = 0.0
+        # Fusion-plane counters (surfaced in RunReport.executor_stats).
+        self.fused_windows = 0
+        self.fused_iterations = 0
 
     # --- prefill path -------------------------------------------------
     def run_prefill(self, entries: list, overhead: float) -> None:
@@ -375,11 +389,197 @@ class DecodeStream:
             system.tracer.record(now, "executor", "decode_start",
                                  batch=len(batch), duration=duration)
         system._busy = True
+        if system.config.fuse_decode and system.tracer is None:
+            fused = self._plan_fused(batch, result, overhead, now, duration)
+            if fused is not None:
+                times, steps, write_through = fused
+                self.engine.call_at(
+                    times[-1],
+                    lambda: self.complete_fused(
+                        result, batch, times, steps, write_through
+                    ),
+                    label="decode-fused-done",
+                )
+                return
         self.engine.call_at(
             now + duration,
             lambda: self.complete_decode(result, batch),
             label="decode-done",
         )
+
+    # --- the fusion plane ---------------------------------------------
+    def _plan_fused(self, batch: list, result, overhead: float,
+                    now: float, duration: float):
+        """Size a macro-step window starting with this iteration.
+
+        Returns ``(times, steps, write_through)`` — per-iteration
+        completion instants (bit-identical to the event times the
+        per-iteration path would schedule), per-iteration executor
+        step durations, and whether write drains must be replicated —
+        or ``None`` when this iteration must run unfused.
+
+        A window of K iterations is valid only when *nothing* else can
+        observe or perturb state strictly before its last completion:
+
+        * batch composition is frozen — whole running set fits (the
+          composer found no deficit and no overflow), the prefill queue
+          is empty, and the scheduler certifies its skipped boundaries
+          are decision-free (:meth:`BaseScheduler.can_fuse_decode` —
+          this covers the waiting queue: a policy may certify e.g. a
+          memory-blocked FCFS head, which free blocks only shrinking
+          keeps blocked for the whole window);
+        * every completion instant precedes the earliest pending engine
+          event (ticks, arrivals, cancels, transfer completions — the
+          DES decision horizon) and the engine's ``run_until`` bound;
+        * no request finishes before the window's last iteration
+          (``k_cap`` from known ``output_len``);
+        * KV growth fits GPU capacity for the whole window, and — with
+          write-through on — the first drain fully synced, every
+          intermediate drain's one-token-per-request write fits its
+          iteration's d2h budget (checked with margin so fusion never
+          rides a float knife-edge; too tight simply means no fusion),
+          and the host pool keeps the uniform fast path's headroom.
+        """
+        system = self.system
+        if system.prefill_queue:
+            return None
+        n_batch = len(batch)
+        if n_batch != len(self.running):
+            return None
+        k_cap = min(r.output_len - r.generated for r in batch)
+        if k_cap <= 1:
+            return None
+        engine = self.engine
+        horizon = engine.next_event_time()
+        t1 = now + duration
+        if horizon is not None and t1 >= horizon:
+            return None
+        until = engine.run_until
+        if until is not None and t1 > until:
+            return None
+        # The scheduler certificate last: for the stateless baselines
+        # it re-evaluates the full admission boundary, so the cheap
+        # arithmetic rejections above should filter first.
+        view = system._iter_view
+        if view is None or not self.scheduler.can_fuse_decode(view):
+            return None
+        kv = self.kv
+        req_ids = result.req_ids
+        k_cap = kv.max_fused_decode_iterations(req_ids, k_cap)
+        if k_cap <= 1:
+            return None
+        kv_config = kv.config
+        write_through = kv_config.write_through and kv_config.enable_offload
+        need_bytes = d2h_bw = 0.0
+        if write_through:
+            if kv.write_backlog_tokens() != 0:
+                # This iteration's drain left a dirty tail: subsequent
+                # drains would not be uniform one-token syncs.
+                return None
+            if kv.link.d2h.busy_until() > t1:
+                # d2h occupied past this iteration's completion: this
+                # iteration's own drain is budget-bounded to finish by
+                # t1, so this means an eviction transfer is in flight —
+                # the per-iteration drains inside the window would find
+                # zero idle budget and sync nothing, and replicating
+                # uniform drains would diverge.  (The eviction's
+                # completion is a pending event, so the link stays busy
+                # for the whole candidate window.)
+                return None
+            if not kv_config.load_evict_overlap and kv.link.h2d.busy_until() > now:
+                return None
+            need_bytes = n_batch * kv.kv_bytes_per_token * 1.0625
+            d2h_bw = kv.link.d2h.bandwidth
+        # Walk per-iteration durations through the latency model's
+        # single decode-roofline float sequence (constant batch shape;
+        # context grows by n_batch per iteration) so every completion
+        # instant is the float the per-iteration event chain would have
+        # produced.  The first iteration keeps its caller-supplied
+        # overhead (it may include an applied tick's scheduling cost);
+        # later iterations pay the plain boundary cost — no tick can
+        # fire inside a window.
+        steady_overhead = 0.0 + self.scheduler.scheduling_cost_s()
+        step_time = system.latency.decode_step_time_from_total
+        total0 = 0
+        for request in batch:
+            total0 += request.prompt_len + request.generated
+        times = [t1]
+        steps = [result.duration]
+        t = t1
+        k = 1
+        while k < k_cap:
+            step = step_time(total0 + n_batch * k, n_batch)
+            dur = step + steady_overhead
+            if write_through and dur * d2h_bw < need_bytes:
+                break
+            t_next = t + dur
+            if horizon is not None and t_next >= horizon:
+                break
+            if until is not None and t_next > until:
+                break
+            times.append(t_next)
+            steps.append(step)
+            t = t_next
+            k += 1
+        if k <= 1:
+            return None
+        if write_through and not kv.cpu_room_for_fused_drains(req_ids, k):
+            return None
+        return times, steps, write_through
+
+    def complete_fused(self, result, batch: list, times: list,
+                       steps: list, write_through: bool) -> None:
+        """Apply a K-iteration macro-step at its final completion time.
+
+        The window was sized so no event fires inside it, so deferring
+        every mutation to this single callback is indistinguishable
+        from the per-iteration event chain — and the per-token work
+        collapses into bulk updates: one boundary-bookkeeping replay,
+        one KV advance, one buffer delivery per request.
+        """
+        system = self.system
+        now = times[-1]
+        k = len(times)
+        req_ids = result.req_ids
+        running_state = RequestState.RUNNING
+        if any(request.state is not running_state for request in batch):
+            # A batch member left RUNNING while this window's event was
+            # pending.  No in-simulation event can do that (the window
+            # is silent by construction) — only an external call
+            # between stepped run() invocations, e.g. the public
+            # ServingSystem.cancel().  Mirror complete_decode's
+            # skip-departed behaviour: the window applies to the
+            # survivors only (the departed request's KV record is
+            # already released, and it must not receive tokens).
+            batch = [r for r in batch if r.state is running_state]
+            req_ids = tuple(r.req_id for r in batch)
+        # Skipped-boundary bookkeeping first: it observes pre-window
+        # generated counts, exactly like the elided calls would have.
+        self.scheduler.on_fused_boundaries(self.running, k - 1)
+        self.kv.fused_decode_advance(
+            req_ids, k,
+            drain_starts=times[:-1] if write_through else None,
+        )
+        deliver = self.tracker.deliver_tokens
+        for request in batch:
+            deliver(request.req_id, times)
+        if now > self.last_token_time:
+            self.last_token_time = now
+        # Intermediate samples: queue/batch sizes are frozen inside the
+        # window, so only the timestamps differ.
+        sample_at = system._sample_timeline_at
+        for t in times[:-1]:
+            sample_at(t)
+        for request in batch:
+            if request.generated >= request.output_len:
+                self.finish(request, now)
+        self.executor.commit_fused(result, steps)
+        system._sample_timeline()
+        self.composer.decodes_since_prefill += k - 1
+        self.fused_windows += 1
+        self.fused_iterations += k
+        system._busy = False
+        system._kick()
 
     def complete_decode(self, result, batch: list) -> None:
         # The per-token fast path: this loop runs once per generated

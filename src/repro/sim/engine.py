@@ -24,11 +24,34 @@ class SimEngine:
         self._events_processed = 0
         self._running = False
         self._stopped = False
+        self._run_until: Optional[float] = None
 
     @property
     def events_processed(self) -> int:
         """Number of events executed so far (cancelled events excluded)."""
         return self._events_processed
+
+    # --- decision horizon -------------------------------------------------
+    def next_event_time(self) -> Optional[float]:
+        """Timestamp of the earliest pending event, or ``None``.
+
+        This is the engine's *decision horizon*: no externally visible
+        state can change strictly before this instant, so components
+        may advance their own state in closed form up to (but not
+        including) it — the macro-step decode fusion relies on this.
+        """
+        return self._queue.peek_time()
+
+    @property
+    def run_until(self) -> Optional[float]:
+        """The ``until`` bound of the in-progress :meth:`run` call.
+
+        ``None`` outside :meth:`run` or when running unbounded.  Fused
+        multi-iteration advances must not cross it: events completing
+        after ``until`` stay pending for the *next* run() call, exactly
+        as per-iteration events would.
+        """
+        return self._run_until
 
     def now(self) -> float:
         """Current simulation time."""
@@ -75,6 +98,7 @@ class SimEngine:
             raise RuntimeError("engine is already running (re-entrant run() call)")
         self._running = True
         self._stopped = False
+        self._run_until = until
         executed = 0
         try:
             while not self._stopped:
@@ -94,6 +118,7 @@ class SimEngine:
                     break
         finally:
             self._running = False
+            self._run_until = None
         if until is not None and self.clock.now() < until and not self._queue:
             # Nothing left to do before the horizon: jump to it so the
             # caller sees a consistent end-of-run timestamp.

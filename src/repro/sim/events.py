@@ -115,7 +115,14 @@ class EventQueue:
         return None
 
     def peek_time(self) -> Optional[float]:
-        """Return the timestamp of the earliest live event, or ``None``."""
+        """Return the timestamp of the earliest live event, or ``None``.
+
+        Dead (cancelled) heads are discarded on the way, so the value
+        is exact, not an upper bound — callers use it both as the run
+        loop's next-event probe and as the *decision horizon* for
+        closed-form multi-step advances (nothing scheduled can fire
+        strictly before this time).
+        """
         heap = self._heap
         while heap and heap[0].cancelled:
             heapq.heappop(heap)

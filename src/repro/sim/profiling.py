@@ -15,8 +15,11 @@ of exactly the code this module exists to police.
 from __future__ import annotations
 
 import cProfile
+import os
 import pstats
 import resource
+import subprocess
+import sys
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
@@ -35,6 +38,14 @@ class HotSpot:
         return [self.ncalls, round(self.tottime, 3), round(self.cumtime, 3),
                 self.location]
 
+    def to_dict(self) -> dict:
+        return {
+            "ncalls": self.ncalls,
+            "tottime": self.tottime,
+            "cumtime": self.cumtime,
+            "location": self.location,
+        }
+
 
 @dataclass
 class ProfileReport:
@@ -46,7 +57,8 @@ class ProfileReport:
     primitive_calls: int
     peak_rss_kb: int
     events_per_s: Optional[float] = None   # filled by callers that know |events|
-    hotspots: list = field(default_factory=list)  # [HotSpot], by tottime
+    hotspots: list = field(default_factory=list)       # [HotSpot], by tottime
+    cumulative: list = field(default_factory=list)     # [HotSpot], by cumtime
     result: object = None         # return value of the profiled callable
 
     def render(self, top: int = 20) -> str:
@@ -59,24 +71,109 @@ class ProfileReport:
         if self.events_per_s is not None:
             lines.append(f"events/s    {self.events_per_s:,.0f}")
         lines.append("")
+        lines.append(f"-- top {top} by tottime --")
         lines.append(f"{'ncalls':>10}  {'tottime':>8}  {'cumtime':>8}  location")
         for spot in self.hotspots[:top]:
             lines.append(
                 f"{spot.ncalls:>10}  {spot.tottime:>8.3f}  {spot.cumtime:>8.3f}  "
                 f"{spot.location}"
             )
+        if self.cumulative:
+            lines.append("")
+            lines.append(f"-- top {top} by cumtime --")
+            lines.append(
+                f"{'ncalls':>10}  {'tottime':>8}  {'cumtime':>8}  location"
+            )
+            for spot in self.cumulative[:top]:
+                lines.append(
+                    f"{spot.ncalls:>10}  {spot.tottime:>8.3f}  "
+                    f"{spot.cumtime:>8.3f}  {spot.location}"
+                )
         return "\n".join(lines)
 
+    def to_dict(self, top: Optional[int] = None) -> dict:
+        """JSON-ready summary (hot-spot tables included) so profile
+        runs are diffable CI artifacts (``repro profile --json``)."""
+        return {
+            "wall_s": self.wall_s,
+            "profiled_s": self.profiled_s,
+            "total_calls": self.total_calls,
+            "primitive_calls": self.primitive_calls,
+            "peak_rss_kb": self.peak_rss_kb,
+            "events_per_s": self.events_per_s,
+            "hotspots": [s.to_dict() for s in self.hotspots[:top]],
+            "cumulative": [s.to_dict() for s in self.cumulative[:top]],
+        }
 
-def _collect_hotspots(stats: pstats.Stats, top: int) -> list:
+
+def _collect_hotspots(stats: pstats.Stats, top: int) -> tuple:
+    """(by-tottime, by-cumtime) hot-spot tables from a stats object."""
     spots = []
     for func, (cc, nc, tottime, cumtime, _callers) in stats.stats.items():
         filename, lineno, name = func
         location = f"{filename}:{lineno}({name})"
         spots.append(HotSpot(ncalls=nc, tottime=tottime, cumtime=cumtime,
                              location=location))
-    spots.sort(key=lambda s: s.tottime, reverse=True)
-    return spots[:top]
+    by_tottime = sorted(spots, key=lambda s: s.tottime, reverse=True)[:top]
+    by_cumtime = sorted(spots, key=lambda s: s.cumtime, reverse=True)[:top]
+    return by_tottime, by_cumtime
+
+
+def bare_run_rss_kb(code: str, timeout_s: float = 600.0) -> Optional[int]:
+    """Peak RSS (KiB) of ``code`` executed in a fresh interpreter.
+
+    In-process ``ru_maxrss`` is a *process-lifetime high-water mark*:
+    inside a test suite (or under cProfile, which roughly triples live
+    frame volume) it reports whatever the hungriest earlier moment
+    consumed, not the workload's own footprint.  A bare subprocess
+    measures just the workload.  The child inherits ``PYTHONPATH`` plus
+    a ``src`` fallback so it can import the package from a checkout.
+    Returns ``None`` if the child fails (callers treat RSS as a soft,
+    best-effort metric).
+    """
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))), "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (env.get("PYTHONPATH"), src) if p
+    )
+    # The child reports VmHWM (per-address-space peak, reset by exec)
+    # rather than ru_maxrss: on Linux the rusage high-water mark is
+    # inherited across fork/exec, so a child spawned from a fat parent
+    # (a pytest run) would re-report the parent's peak.  The fallback
+    # (no /proc) normalises ru_maxrss's platform unit — bytes on
+    # macOS/BSD, KiB on Linux.
+    wrapped = (
+        code
+        + "\nimport resource, sys"
+        + "\npeak_kb = None"
+        + "\ntry:"
+        + "\n    with open('/proc/self/status') as fh:"
+        + "\n        for line in fh:"
+        + "\n            if line.startswith('VmHWM:'):"
+        + "\n                peak_kb = int(line.split()[1])"
+        + "\n                break"
+        + "\nexcept OSError:"
+        + "\n    pass"
+        + "\nif peak_kb is None:"
+        + "\n    peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss"
+        + "\n    if sys.platform == 'darwin':"
+        + "\n        peak_kb //= 1024"
+        + "\nsys.stdout.write('RSS_KB=%d\\n' % peak_kb)"
+    )
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-c", wrapped],
+            capture_output=True, text=True, timeout=timeout_s, env=env,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    for line in proc.stdout.splitlines():
+        if line.startswith("RSS_KB="):
+            return int(line.split("=", 1)[1])
+    return None
 
 
 def profile_call(
@@ -116,12 +213,14 @@ def profile_call(
 
     stats = pstats.Stats(profiler)
     peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    hotspots, cumulative = _collect_hotspots(stats, top)
     return ProfileReport(
         wall_s=wall_best if wall_best is not None else profiled_s,
         profiled_s=profiled_s,
         total_calls=stats.total_calls,
         primitive_calls=stats.prim_calls,
         peak_rss_kb=peak_rss_kb,
-        hotspots=_collect_hotspots(stats, top),
+        hotspots=hotspots,
+        cumulative=cumulative,
         result=result,
     )

@@ -31,6 +31,29 @@ class TestSlidingWindowMean:
         with pytest.raises(ValueError):
             SlidingWindowMean(0)
 
+    def test_bulk_bit_identical_to_sequential(self):
+        # Contract behind the fused decode path's boundary replay:
+        # observe_bulk/observe_many must leave the running sum and
+        # window contents *bit*-identical to per-sample observe calls,
+        # chunked any which way (the sum carries the whole observation
+        # history's float error, so only an exact replay matches).
+        import random
+
+        rng = random.Random(7)
+        values = [rng.uniform(1.0, 4096.0) for _ in range(500)]
+        sequential = SlidingWindowMean(64)
+        for value in values:
+            sequential.observe(value)
+        bulk = SlidingWindowMean(64)
+        i = 0
+        while i < len(values):
+            step = rng.randint(1, 97)
+            bulk.observe_bulk(values[i:i + step])
+            i += step
+        assert bulk._sum == sequential._sum
+        assert list(bulk._values) == list(sequential._values)
+        assert bulk.mean() == sequential.mean()
+
 
 class TestPrefillCostEstimator:
     def test_initial_estimate_positive(self):

@@ -54,6 +54,32 @@ class TestQueueing:
         assert direction.idle_bytes_within(0.0, 1.0) == 0.0
         assert direction.idle_bytes_within(0.0, 1.5) == pytest.approx(5e9)
 
+    def test_occupy_bulk_busy_horizon_bit_identical(self):
+        # busy_until is live simulation state: the bulk form must
+        # replay the exact per-transfer additions of n occupy() calls
+        # (byte/busy-time totals are reporting-only and may differ in
+        # summation order).
+        sequential = PCIeDirection(bandwidth_bytes_per_s=64e9)
+        bulk = PCIeDirection(bandwidth_bytes_per_s=64e9)
+        nbytes = 12_288.0
+        for _ in range(37):
+            sequential.occupy(nbytes, 2.5)
+        bulk.occupy_bulk(37, nbytes, 2.5)
+        assert bulk.busy_until() == sequential.busy_until()
+        assert bulk.bytes_moved == pytest.approx(
+            sequential.bytes_moved, rel=1e-12
+        )
+        assert bulk.busy_time == pytest.approx(
+            sequential.busy_time, rel=1e-12
+        )
+
+    def test_occupy_bulk_noop_on_empty(self, direction):
+        before = direction.busy_until()
+        direction.occupy_bulk(0, 1024.0, 5.0)
+        direction.occupy_bulk(3, 0.0, 5.0)
+        assert direction.busy_until() == before
+        assert direction.bytes_moved == 0.0
+
     def test_bad_bandwidth_rejected(self):
         with pytest.raises(ValueError):
             PCIeDirection(0.0)

@@ -17,6 +17,8 @@ in the PR.
 import json
 from pathlib import Path
 
+import pytest
+
 BENCH_PATH = (
     Path(__file__).resolve().parent.parent / "benchmarks" / "BENCH_simcore.json"
 )
@@ -24,6 +26,14 @@ BENCH_PATH = (
 # Fraction of the recorded-best call-count ratio the current ratio
 # must retain.
 ALLOWED_REGRESSION = 0.10
+
+# Soft memory guard: the recorded bare-run peak RSS may exceed the
+# pinned seed baseline by at most this factor.  Deliberately loose —
+# RSS varies with Python version and allocator — it exists to catch
+# committed accounting mistakes (a profiler/suite high-water mark
+# recorded as the workload's footprint) and order-of-magnitude leaks,
+# not percent-level drift.
+ALLOWED_RSS_FACTOR = 1.5
 
 
 def test_bench_artifact_exists_and_parses():
@@ -43,6 +53,30 @@ def test_call_ratio_not_regressed_vs_recorded_best():
         f"is more than {ALLOWED_REGRESSION:.0%} below the recorded best "
         f"{best:.2f}x (floor {floor:.2f}x). If intentional, update "
         f"best.calls in benchmarks/BENCH_simcore.json and justify it."
+    )
+
+
+def test_bare_rss_within_soft_guard():
+    payload = json.loads(BENCH_PATH.read_text())
+    optimized = payload["optimized"]
+    source = optimized.get("peak_rss_source", "bare")
+    if source == "unavailable":
+        # The bare subprocess could not run (e.g. a sandbox forbidding
+        # spawns) and no earlier measurement exists to carry forward —
+        # RSS is a soft metric, so that is not a failure.
+        pytest.skip("no bare-run RSS measurement available")
+    assert source in ("bare", "carried"), source
+    baseline_kb = payload["baseline"]["peak_rss_kb"]
+    current_kb = optimized["peak_rss_kb"]
+    assert current_kb > 0, "bare-run RSS missing from the artifact"
+    ceiling = ALLOWED_RSS_FACTOR * baseline_kb
+    assert current_kb <= ceiling, (
+        f"recorded bare-run peak RSS {current_kb / 1024:.1f} MiB exceeds "
+        f"{ALLOWED_RSS_FACTOR:.1f}x the seed baseline "
+        f"({baseline_kb / 1024:.1f} MiB). Either memory genuinely "
+        f"regressed or the artifact recorded a suite/profiler high-water "
+        f"mark instead of a bare run (see BARE_RSS_CODE in "
+        f"benchmarks/test_perf_simcore.py)."
     )
 
 
