@@ -12,7 +12,10 @@ Usage::
 ``list`` enumerates the paper experiments; ``list-scenarios`` the
 registered serving scenarios; ``run`` executes one scenario through
 the :func:`~repro.scenarios.build.build_run` pipeline (optionally as a
-multi-replica cluster behind a named router); ``experiment``
+multi-replica cluster behind a named router; ``--stream`` drives
+arrivals through the streaming plane, ``--out`` writes the report as
+a diffable JSON artifact with executor/KV/scheduler stats, mirroring
+``repro profile --json``); ``experiment``
 regenerates one table/figure (same runners the benchmark suite uses);
 ``compare`` runs an ad-hoc workload across schedulers; ``matrix``
 expands scenarios × routers × replicas × seeds into independent jobs
@@ -217,6 +220,42 @@ def _render_scenario_report(spec, run, report) -> str:
     return render_table(headers, rows, title=title)
 
 
+def _report_json_payload(spec, run, report) -> dict:
+    """A diffable JSON artifact for one scenario run (``run --out``).
+
+    Carries the resolved scenario coordinates plus the full aggregate
+    report — executor/KV/scheduler stats included — mirroring the
+    ``repro profile --json`` artifact.  Cluster runs add per-instance
+    reports and placement counts; per-request rows are elided (the
+    artifact must stay diffable at soak scale).
+    """
+    from repro.serving.export import report_to_dict
+
+    payload: dict = {
+        "scenario": {
+            "name": spec.name,
+            "system": spec.system,
+            "scale": spec.scale,
+            "seed": spec.seed,
+            "replicas": spec.replicas,
+            "streaming_telemetry": not spec.retain_per_request,
+        },
+    }
+    if run.is_cluster:
+        payload["scenario"]["router"] = run.target.router.name
+        payload["cluster"] = report_to_dict(
+            report.aggregate, include_requests=False
+        )
+        payload["placement_counts"] = run.target.placement_counts()
+        payload["per_instance"] = [
+            report_to_dict(node, include_requests=False)
+            for node in report.per_instance
+        ]
+    else:
+        payload["report"] = report_to_dict(report, include_requests=False)
+    return payload
+
+
 def cmd_run(args) -> int:
     overrides: dict = {}
     if args.replicas is not None:
@@ -234,8 +273,16 @@ def cmd_run(args) -> int:
     except (KeyError, ValueError) as exc:
         print(str(exc.args[0] if exc.args else exc), file=sys.stderr)
         return 2
-    report = run.execute()
+    report = run.execute(streamed=True if args.stream else None)
     print(_render_scenario_report(spec, run, report))
+    if args.out:
+        import json
+
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = _report_json_payload(spec, run, report)
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {path}")
     return 0
 
 
@@ -366,6 +413,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override the evaluated system/scheduler")
     run_p.add_argument("--horizon", type=float, default=None,
                        help="override the simulation safety horizon (s)")
+    run_p.add_argument("--stream", action="store_true",
+                       help="drive arrivals through the streaming plane "
+                            "(feed(stream); event-for-event identical to "
+                            "submission — stream-native scenarios like the "
+                            "soaks use it automatically)")
+    run_p.add_argument("--out", default=None, metavar="PATH",
+                       help="also write the run report as diffable JSON "
+                            "(aggregates + executor/kv/scheduler stats, "
+                            "mirroring `repro profile --json`)")
     run_p.set_defaults(func=cmd_run)
 
     matrix_p = sub.add_parser(

@@ -57,12 +57,26 @@ class TrackerSnapshot:
 
 
 class RequestTracker:
-    """Registry of all requests seen by the serving system."""
+    """Registry of all requests seen by the serving system.
 
-    def __init__(self, record_traces: bool = True) -> None:
+    With ``retire_into`` set (streaming telemetry, see
+    :class:`~repro.serving.metrics.StreamingRunStats`), a finished
+    request is *retired* the moment :meth:`mark_finished` runs: its
+    final metrics fold into the sink and its entry — request object,
+    buffer, token timestamps — is dropped, so tracker memory is
+    O(active requests) rather than O(total).  The aggregates report
+    building needs across retirements (earliest arrival, latest
+    activity) are maintained incrementally.
+    """
+
+    def __init__(self, record_traces: bool = True, retire_into=None) -> None:
         self._entries: dict[int, TrackedRequest] = {}
         self._finished_order: list = []
         self._record_traces = record_traces
+        # Retirement sink: any object with observe(request, buffer).
+        self._retire_sink = retire_into
+        self._min_arrival: Optional[float] = None
+        self._retired_last_activity: Optional[float] = None
         # Per-instant memo: {req_id -> (occupancy, buffer)} valid for
         # queries at `_memo_now`.  Caching the buffer alongside keeps
         # hits to plain dict/attribute access (the interval is read
@@ -80,7 +94,14 @@ class RequestTracker:
             buffer=ClientBuffer(rate=request.rate, record_trace=self._record_traces),
         )
         self._entries[request.req_id] = entry
+        if self._min_arrival is None or request.arrival_time < self._min_arrival:
+            self._min_arrival = request.arrival_time
         return entry
+
+    @property
+    def retire_sink(self):
+        """The streaming-telemetry sink (None in retained mode)."""
+        return self._retire_sink
 
     def get(self, req_id: int) -> TrackedRequest:
         if req_id not in self._entries:
@@ -158,7 +179,27 @@ class RequestTracker:
     def mark_finished(self, req_id: int, timestamp: float) -> None:
         entry = self.get(req_id)
         entry.request.finish_time = timestamp
-        self._finished_order.append(req_id)
+        if self._retire_sink is not None:
+            self._retire(req_id, entry, timestamp)
+        else:
+            self._finished_order.append(req_id)
+
+    def _retire(self, req_id: int, entry: TrackedRequest, timestamp: float) -> None:
+        """Fold a finished entry into the sink and drop it.
+
+        The entry's contribution to :meth:`last_activity` — its final
+        consumption time and finish time — is captured first, so the
+        report-time makespan is unchanged by retirement.
+        """
+        self._retire_sink.observe(entry.request, entry.buffer)
+        latest = self._retired_last_activity
+        final = entry.buffer.final_consumption_time()
+        for candidate in (final, timestamp):
+            if candidate is not None and (latest is None or candidate > latest):
+                latest = candidate
+        self._retired_last_activity = latest
+        del self._entries[req_id]
+        self._memo_occ.pop(req_id, None)
 
     # --- scheduler queries -----------------------------------------------------
     def _memo_entry(self, req_id: int, now: float) -> tuple:
@@ -246,13 +287,13 @@ class RequestTracker:
         return [entry.request for entry in self._entries.values()]
 
     def first_arrival(self) -> Optional[float]:
-        if not self._entries:
-            return None
-        return min(entry.request.arrival_time for entry in self._entries.values())
+        """Earliest arrival ever registered (tracked incrementally, so
+        the answer survives retirement of the entry that set it)."""
+        return self._min_arrival
 
     def last_activity(self) -> Optional[float]:
         """Latest token-generation or consumption timestamp observed."""
-        latest: Optional[float] = None
+        latest: Optional[float] = self._retired_last_activity
         for entry in self._entries.values():
             final = entry.buffer.final_consumption_time()
             for candidate in (final, entry.request.finish_time):

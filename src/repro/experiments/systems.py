@@ -76,13 +76,16 @@ def build_system(
     block_size: int = 16,
     tokenflow_params: Optional[TokenFlowParams] = None,
     fuse_decode: bool = True,
+    retain_per_request: bool = True,
     record_token_traces: bool = False,
 ) -> ServingSystem:
     """Assemble one serving instance for a named system.
 
     ``record_token_traces`` opts into per-token timestamp traces
     (needed by occupancy-series plots and JSONL trace export; the
-    RunReport metrics do not need them).
+    RunReport metrics do not need them).  ``retain_per_request=False``
+    switches the instance to streaming telemetry (O(active) memory,
+    sketch-backed percentiles — see ServingConfig).
     """
     scheduler = make_scheduler(name, tokenflow_params)
     config = ServingConfig(
@@ -93,6 +96,7 @@ def build_system(
         block_size=block_size,
         kv=make_kv_config(name, block_size),
         fuse_decode=fuse_decode,
+        retain_per_request=retain_per_request,
         record_token_traces=record_token_traces,
     )
     system = ServingSystem(config, scheduler)

@@ -5,9 +5,9 @@ complete serving run — workload, hardware, scheduler/system, router,
 replicas, seed — and :func:`~repro.scenarios.build.build_run` turns it
 into a ready :class:`~repro.scenarios.build.ScenarioRun`.  The
 registry (:mod:`repro.scenarios.registry`) covers the paper's Table 1
-and Table 2 setups plus multi-replica and bursty-session extensions;
-``repro run <scenario>`` and ``repro list-scenarios`` expose it on the
-command line.
+and Table 2 setups plus multi-replica, bursty-session, and
+streaming-plane soak extensions; ``repro run <scenario>`` and
+``repro list-scenarios`` expose it on the command line.
 """
 
 from repro.scenarios.build import ScenarioRun, build_run, run_matrix

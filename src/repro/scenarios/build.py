@@ -34,25 +34,49 @@ class ScenarioRun:
             :class:`ServingCluster`.
         requests: the materialised workload (cloned at execute time, so
             one :class:`ScenarioRun` template's requests can seed
-            several runs).
+            several runs), or ``None`` for stream-native scenarios —
+            those build a fresh lazy stream per execute and never hold
+            the full workload in memory.
     """
 
     spec: ScenarioSpec
     target: Union[ServingSystem, ServingCluster]
-    requests: list
+    requests: Optional[list]
 
     @property
     def is_cluster(self) -> bool:
         return isinstance(self.target, ServingCluster)
 
-    def execute(self) -> Union[RunReport, ClusterReport]:
-        """Submit the workload, drain the engine, and report.
+    def execute(self, streamed: Optional[bool] = None) -> Union[RunReport, ClusterReport]:
+        """Run the workload, drain the engine, and report.
+
+        Stream-native runs (``requests is None``) feed the engine from
+        the spec's lazy stream; materialised runs submit the cloned
+        request list exactly as before.  ``streamed=True`` forces the
+        :meth:`feed` path for a materialised run (the streams are
+        event-for-event identical to submission — this is the parity
+        tests' lever, and costs nothing but the clone).
 
         Raises ``RuntimeError`` if requests remain unfinished at the
         spec's horizon — a mis-sized workload, not a soft failure.
         """
         spec = self.spec
-        self.target.submit(clone_requests(self.requests))
+        if streamed is None:
+            streamed = self.requests is None
+        if streamed:
+            if self.requests is None:
+                stream = spec.build_workload_stream()
+            else:
+                stream = iter(clone_requests(self.requests))
+            self.target.feed(stream)
+        else:
+            # Forcing the submit path on a stream-native run loses the
+            # memory win but is well-defined: materialise the stream.
+            requests = (
+                self.requests if self.requests is not None
+                else spec.build_workload()
+            )
+            self.target.submit(clone_requests(requests))
         self.target.run(until=spec.horizon)
         if self.target.unfinished:
             raise RuntimeError(
@@ -96,7 +120,7 @@ def build_run(spec: ScenarioSpec, requests: Optional[list] = None) -> ScenarioRu
         make_scheduler,
     )
 
-    if requests is None:
+    if requests is None and not spec.is_stream_native:
         requests = spec.build_workload()
 
     if spec.replicas == 1:
@@ -109,6 +133,7 @@ def build_run(spec: ScenarioSpec, requests: Optional[list] = None) -> ScenarioRu
             block_size=spec.block_size,
             tokenflow_params=spec.tokenflow_params,
             fuse_decode=spec.fuse_decode,
+            retain_per_request=spec.retain_per_request,
             record_token_traces=spec.record_token_traces,
         )
         return ScenarioRun(spec=spec, target=system, requests=requests)
@@ -122,6 +147,7 @@ def build_run(spec: ScenarioSpec, requests: Optional[list] = None) -> ScenarioRu
             block_size=spec.block_size,
             kv=make_kv_config(spec.system, spec.block_size),
             fuse_decode=spec.fuse_decode,
+            retain_per_request=spec.retain_per_request,
             record_token_traces=spec.record_token_traces,
         )
         for _ in range(spec.replicas)

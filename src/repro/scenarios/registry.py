@@ -18,18 +18,23 @@ Registered families:
   TokenFlow replicas behind a router.
 * ``bursty-sessions`` — multi-turn conversations arriving in bursts,
   the ``session_affinity`` router's home ground.
+* ``soak-steady`` / ``soak-diurnal`` — sustained-load endurance runs
+  on the streaming plane: stream-native workloads (no materialised
+  request list) with streaming telemetry, scale-parameterised from a
+  quick smoke up to ~10⁶ requests at O(active) memory.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, Iterator, List, Tuple
 
 from repro.gpu.hardware import get_hardware
 from repro.scenarios.spec import ScenarioSpec
 from repro.sim.rng import RngStreams
 from repro.workload.builder import RateMixture, WorkloadBuilder, WorkloadSpec
 from repro.workload.lengths import NormalLengthSampler
+from repro.workload.production import ProductionTraceGenerator
 from repro.workload.request import Request
 from repro.workload.sessions import TURN_STRIDE
 
@@ -261,4 +266,119 @@ def _bursty_sessions(scale: float = 1.0, seed: int = 0) -> ScenarioSpec:
         scale=scale,
         seed=seed,
         workload=_bursty_session_workload,
+    )
+
+
+# --- streaming-plane soak scenarios ------------------------------------------
+#
+# Sustained-load endurance runs: requests enter through a lazy stream
+# (never materialised) and leave through streaming telemetry (retired
+# into accumulators at completion), so a run's memory footprint is
+# O(active requests) no matter how many the scale dials up.
+#
+# ``scale`` multiplies the request *count*: scale=1 is 40 000 requests
+# — 100x the TABLE1 h200/(a) crowd, the soak RSS benchmark's workload
+# — and scale=25 reaches the million-request regime.  Load shape is
+# scale-invariant (the arrival rate stays fixed; the horizon grows).
+
+SOAK_BASE_REQUESTS = 40_000
+_SOAK_ARRIVAL_RATE = 15.0       # req/s — ~70% of paced-service capacity
+_SOAK_CONSUME_RATE = 20.0       # tok/s per client
+
+
+def _soak_lengths() -> NormalLengthSampler:
+    # Chat-style short turns: residence is dominated by paced
+    # consumption (~output/rate ≈ 3.2 s), which bounds steady-state
+    # concurrency near arrival_rate × residence ≈ 50 active requests.
+    return NormalLengthSampler(
+        prompt_mean=128.0, prompt_std=32.0,
+        output_mean=64.0, output_std=16.0,
+    )
+
+
+def _soak_requests(scale: float) -> int:
+    """The one clamp shared by the stream factories (request cap) and
+    the spec builders (horizon sizing) — they must never drift apart."""
+    return max(64, int(SOAK_BASE_REQUESTS * scale))
+
+
+def _soak_steady_stream(spec: ScenarioSpec) -> Iterator[Request]:
+    n = _soak_requests(spec.scale)
+    wl = WorkloadSpec(
+        arrival="poisson",
+        n_requests=n,
+        poisson_rate=_SOAK_ARRIVAL_RATE,
+        # Enough horizon for the capped count plus slack; the cap stops
+        # the stream, so over-provisioning the duration costs nothing.
+        duration=n / _SOAK_ARRIVAL_RATE * 1.5 + 120.0,
+        lengths=_soak_lengths(),
+        rates=RateMixture.fixed(_SOAK_CONSUME_RATE),
+    )
+    return WorkloadBuilder(wl, RngStreams(spec.seed)).stream()
+
+
+@register_scenario(
+    "soak-steady",
+    "streaming-plane soak: steady Poisson load, O(active) memory "
+    "(scale=1 ≈ 40k requests, scale=25 ≈ 10⁶)",
+)
+def _soak_steady(scale: float = 1.0, seed: int = 0) -> ScenarioSpec:
+    n = _soak_requests(scale)
+    return ScenarioSpec(
+        name="soak-steady",
+        description="sustained Poisson load on the streaming plane",
+        system="tokenflow",
+        hardware="h200",
+        model="llama3-8b",
+        mem_frac=0.05,
+        max_batch=64,
+        scale=scale,
+        seed=seed,
+        horizon=n / _SOAK_ARRIVAL_RATE * 1.5 + 10_000.0,
+        workload_stream=_soak_steady_stream,
+        retain_per_request=False,
+    )
+
+
+def _soak_diurnal_stream(spec: ScenarioSpec) -> Iterator[Request]:
+    n = _soak_requests(spec.scale)
+    generator = ProductionTraceGenerator(
+        mean_rate=_SOAK_ARRIVAL_RATE * 0.8,
+        diurnal_amplitude=0.5,
+        period=1800.0,
+        peak_times=(0.3, 0.8),
+        peak_multiplier=1.5,
+        peak_width=0.04,
+    )
+    wl = WorkloadSpec(
+        arrival="production",
+        n_requests=n,
+        duration=n / generator.mean_rate * 2.0 + 120.0,
+        lengths=_soak_lengths(),
+        rates=RateMixture.fixed(_SOAK_CONSUME_RATE),
+        production=generator,
+    )
+    return WorkloadBuilder(wl, RngStreams(spec.seed)).stream()
+
+
+@register_scenario(
+    "soak-diurnal",
+    "streaming-plane soak: diurnal production-trace load with peak "
+    "episodes (Fig. 11 shape), O(active) memory",
+)
+def _soak_diurnal(scale: float = 1.0, seed: int = 0) -> ScenarioSpec:
+    n = _soak_requests(scale)
+    return ScenarioSpec(
+        name="soak-diurnal",
+        description="diurnal production-shaped load on the streaming plane",
+        system="tokenflow",
+        hardware="h200",
+        model="llama3-8b",
+        mem_frac=0.05,
+        max_batch=64,
+        scale=scale,
+        seed=seed,
+        horizon=n / (_SOAK_ARRIVAL_RATE * 0.8) * 2.0 + 10_000.0,
+        workload_stream=_soak_diurnal_stream,
+        retain_per_request=False,
     )

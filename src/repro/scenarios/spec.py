@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Callable, Optional, Union
+from typing import Callable, Iterator, Optional, Union
 
 from repro.serving.routers import ROUTERS, Router
 
@@ -42,6 +42,16 @@ class ScenarioSpec:
         workload: callable ``spec -> list[Request]`` materialising the
             workload (None for ad-hoc specs driven with explicit
             request lists).
+        workload_stream: callable ``spec -> Iterator[Request]`` yielding
+            the workload lazily in arrival order — the streaming plane's
+            spelling.  A spec with only a stream factory executes
+            through :meth:`ServingSystem.feed`; when both factories are
+            set they must describe the same request sequence
+            (:meth:`build_workload` falls back to draining the stream).
+        retain_per_request: telemetry mode (see
+            :class:`~repro.serving.config.ServingConfig`); ``False``
+            retires finished requests into streaming accumulators so
+            memory stays O(active) — the soak scenarios' setting.
         tokenflow_params: optional TokenFlow parameter overrides.
         fuse_decode: macro-step decode fusion switch (see
             :class:`~repro.serving.config.ServingConfig`); off runs one
@@ -64,8 +74,10 @@ class ScenarioSpec:
     scale: float = 1.0
     horizon: float = 50_000.0
     workload: Optional[Callable[["ScenarioSpec"], list]] = None
+    workload_stream: Optional[Callable[["ScenarioSpec"], Iterator]] = None
     tokenflow_params: Optional[object] = None
     fuse_decode: bool = True
+    retain_per_request: bool = True
     record_token_traces: bool = False
 
     def __post_init__(self) -> None:
@@ -85,10 +97,35 @@ class ScenarioSpec:
         return dataclasses.replace(self, **changes)
 
     def build_workload(self) -> list:
-        """Materialise the spec's request list (requires ``workload``)."""
-        if self.workload is None:
-            raise ValueError(
-                f"scenario {self.name!r} has no workload factory; pass an "
-                f"explicit request list to build_run instead"
-            )
-        return self.workload(self)
+        """Materialise the spec's request list.
+
+        Falls back to draining :attr:`workload_stream` for stream-only
+        specs (tools that need the full list — parity tests, ad-hoc
+        inspection — can always get one; it is the serving path that
+        avoids materialisation, not the spec API).
+        """
+        if self.workload is not None:
+            return self.workload(self)
+        if self.workload_stream is not None:
+            return list(self.workload_stream(self))
+        raise ValueError(
+            f"scenario {self.name!r} has no workload factory; pass an "
+            f"explicit request list to build_run instead"
+        )
+
+    def build_workload_stream(self) -> Iterator:
+        """The spec's lazy request stream.
+
+        Stream-native specs call their factory; list-only specs fall
+        back to iterating the materialised workload (same sequence,
+        no memory win — existing scenarios keep working through the
+        streaming execute path unchanged).
+        """
+        if self.workload_stream is not None:
+            return self.workload_stream(self)
+        return iter(self.build_workload())
+
+    @property
+    def is_stream_native(self) -> bool:
+        """True when the workload exists only as a stream factory."""
+        return self.workload is None and self.workload_stream is not None

@@ -18,8 +18,10 @@ from repro.serving.export import (
 )
 from repro.serving.interface import BaseScheduler, SchedulerDecision, SystemView
 from repro.serving.metrics import (
+    QuantileSketch,
     RequestMetrics,
     RunReport,
+    StreamingRunStats,
     aggregate_reports,
     build_report,
 )
@@ -43,8 +45,10 @@ __all__ = [
     "BaseScheduler",
     "SchedulerDecision",
     "SystemView",
+    "QuantileSketch",
     "RequestMetrics",
     "RunReport",
+    "StreamingRunStats",
     "aggregate_reports",
     "build_report",
     "ROUTERS",

@@ -26,9 +26,10 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence, Union
 
 from repro.serving.config import ServingConfig
-from repro.serving.metrics import aggregate_reports
+from repro.serving.metrics import RunReport, aggregate_reports
 from repro.serving.routers import Router, make_router
 from repro.serving.server import ServingSystem
+from repro.serving.stages import feed_stream_arrivals
 from repro.sim.engine import SimEngine
 
 # The pre-router dispatch policies, kept as the stable "core" set
@@ -41,6 +42,9 @@ class ClusterReport:
     """Aggregate results across cluster instances."""
 
     per_instance: list = field(default_factory=list)  # RunReport each
+    # The full folded RunReport the scalar fields below are drawn from
+    # (kept so consumers never re-aggregate the per-instance rows).
+    aggregate: Optional[RunReport] = None
     n_requests: int = 0
     n_finished: int = 0
     total_tokens: int = 0
@@ -77,6 +81,18 @@ class ServingCluster:
             for config in configs
         ]
         self.placements: dict = {}   # req_id -> instance index
+        # With streaming telemetry on every instance the per-request
+        # placement map would be the last O(total-requests) structure
+        # left in a soak run; keep only the per-instance counters then.
+        self._retain_placements = any(
+            instance.stream_stats is None for instance in self.instances
+        )
+        self._placement_counts = [0] * len(self.instances)
+        # Requests scheduled for dispatch but not yet routed — counted
+        # so a run truncated at its horizon reports them as unfinished
+        # instead of silently dropping the tail (instances only start
+        # counting a request once it is dispatched to them).
+        self._pending_dispatch = 0
 
     @classmethod
     def homogeneous(
@@ -101,15 +117,36 @@ class ServingCluster:
                 raise ValueError(
                     f"request {request.req_id} arrives in the past"
                 )
+            self._pending_dispatch += 1
             self.engine.call_at(
                 request.arrival_time,
                 lambda r=request: self._dispatch(r),
                 label=f"dispatch:{request.req_id}",
             )
 
+    def feed(self, stream, lookahead: int = 1) -> None:
+        """Drive cluster arrivals from a lazy workload stream.
+
+        Mirrors :meth:`ServingSystem.feed` through the shared
+        :func:`~repro.serving.stages.feed_stream_arrivals` chain: only
+        ``lookahead`` future requests exist in memory, and router
+        placement happens at pop (arrival) time with the same instance
+        state the materialised :meth:`submit` path sees — streamed and
+        submitted cluster runs place identically.
+        """
+        def on_pop(_request) -> None:
+            self._pending_dispatch += 1
+
+        feed_stream_arrivals(
+            self.engine, stream, lookahead, on_pop, self._dispatch, "dispatch"
+        )
+
     def _dispatch(self, request) -> None:
+        self._pending_dispatch -= 1
         idx = self.router.select(self.instances, request)
-        self.placements[request.req_id] = idx
+        if self._retain_placements:
+            self.placements[request.req_id] = idx
+        self._placement_counts[idx] += 1
         self.instances[idx].submit([request])
 
     # --- running / reporting --------------------------------------------------
@@ -118,7 +155,9 @@ class ServingCluster:
 
     @property
     def unfinished(self) -> int:
-        return sum(instance.unfinished for instance in self.instances)
+        return self._pending_dispatch + sum(
+            instance.unfinished for instance in self.instances
+        )
 
     def report(self) -> ClusterReport:
         """Aggregate per-instance reports into cluster totals.
@@ -132,6 +171,7 @@ class ServingCluster:
         total = aggregate_reports(reports)
         return ClusterReport(
             per_instance=reports,
+            aggregate=total,
             n_requests=total.n_requests,
             n_finished=total.n_finished,
             total_tokens=total.total_tokens,
@@ -147,7 +187,4 @@ class ServingCluster:
 
     def placement_counts(self) -> list:
         """Requests routed to each instance (load-balance check)."""
-        counts = [0] * len(self.instances)
-        for idx in self.placements.values():
-            counts[idx] += 1
-        return counts
+        return list(self._placement_counts)

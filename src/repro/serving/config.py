@@ -42,6 +42,16 @@ class ServingConfig:
             summation order of a few reporting aggregates is the only
             difference); switch off to debug with one event per decode
             iteration.
+        retain_per_request: keep every finished request's tracker entry
+            (and its :class:`~repro.serving.metrics.RequestMetrics`
+            row) until report time — the exact historical pipeline,
+            and the default.  ``False`` switches the run to streaming
+            telemetry: finished requests retire into a
+            :class:`~repro.serving.metrics.StreamingRunStats`
+            accumulator (exact counts/sums, sketch-backed TTFT/stall
+            percentiles) the moment they complete, so memory stays
+            O(active requests) — the soak scenarios' mode.  Per-token
+            trace export and per-request report rows need the default.
         record_token_traces: keep per-token generation/consumption
             timestamp lists on every client buffer.  Metrics and QoS
             need only the compact occupancy aggregates, so this is off
@@ -66,6 +76,7 @@ class ServingConfig:
     prefill_chunk_size: int = 2048
     kv: KVManagerConfig = field(default_factory=KVManagerConfig)
     fuse_decode: bool = True
+    retain_per_request: bool = True
     record_token_traces: bool = False
     timeline_cap: int = 65536
 
@@ -86,6 +97,11 @@ class ServingConfig:
             raise ValueError("prefill_chunk_size must be positive")
         if self.timeline_cap < 2:
             raise ValueError("timeline_cap must be at least 2")
+        if self.record_token_traces and not self.retain_per_request:
+            raise ValueError(
+                "record_token_traces needs retain_per_request: streaming "
+                "telemetry drops each request's traces at retirement"
+            )
         # Keep the KV config's block size consistent with ours.
         if self.kv.block_size != self.block_size:
             object.__setattr__(self.kv, "block_size", self.block_size)

@@ -39,6 +39,13 @@ def report_to_dict(report: RunReport, include_requests: bool = True) -> dict:
         "kv_stats": _jsonable(report.kv_stats),
         "scheduler_stats": _jsonable(report.scheduler_stats),
     }
+    if report.stream_stats is not None:
+        # Sketch-backed (streaming-telemetry) report: no per-request
+        # rows exist; record the mode and the sketch summaries so the
+        # artifact documents its own percentile error envelope.
+        payload["streaming_telemetry"] = True
+        payload["ttft_sketch"] = report.stream_stats.ttft.to_dict()
+        payload["stall_sketch"] = report.stream_stats.stall.to_dict()
     if include_requests:
         payload["per_request"] = [
             dataclasses.asdict(metrics) for metrics in report.per_request

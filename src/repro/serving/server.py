@@ -37,7 +37,7 @@ from repro.gpu.latency import LatencyModel
 from repro.memory.kv_manager import HierarchicalKVManager
 from repro.serving.config import ServingConfig
 from repro.serving.interface import BaseScheduler, SystemView
-from repro.serving.metrics import RunReport, build_report
+from repro.serving.metrics import RunReport, StreamingRunStats, build_report
 from repro.serving.stages import (
     AdmissionStage,
     BatchComposer,
@@ -83,7 +83,17 @@ class ServingSystem:
             config=config.kv,
         )
         self.kv.on_memory_freed = self._kick
-        self.tracker = RequestTracker(record_traces=config.record_token_traces)
+        # Streaming telemetry (retain_per_request=False): finished
+        # requests retire into this accumulator and their tracker
+        # entries are dropped — memory stays O(active requests).
+        self.stream_stats: Optional[StreamingRunStats] = (
+            None if config.retain_per_request
+            else StreamingRunStats(qos_params=self.qos_params)
+        )
+        self.tracker = RequestTracker(
+            record_traces=config.record_token_traces,
+            retire_into=self.stream_stats,
+        )
 
         # Request queues (state-machine mirrors, shared with stages and
         # the offload manager).
@@ -126,12 +136,26 @@ class ServingSystem:
             loading=self.loading,
             on_state_change=self._kick,
             on_swap_observed=self.memory.observe_swap,
+            record_events=config.retain_per_request,
         )
 
     # --- submission -----------------------------------------------------------
     def submit(self, requests: list) -> None:
         """Register future arrivals with the event engine."""
         self.admission.submit(requests)
+
+    def feed(self, stream, lookahead: int = 1) -> None:
+        """Drive arrivals from a lazy workload stream.
+
+        ``stream`` yields :class:`~repro.workload.request.Request`
+        objects in non-decreasing arrival order; only ``lookahead``
+        future requests are scheduled (hence in memory) at any time —
+        each arrival event pops its successor before admitting, so the
+        engine's decision horizon (the fusion plane's
+        ``next_event_time``) always sees the next pending arrival
+        exactly as the materialised :meth:`submit` path would.
+        """
+        self.admission.feed(stream, lookahead=lookahead)
 
     # --- the loop --------------------------------------------------------------
     def _kick(self) -> None:
@@ -299,6 +323,7 @@ class ServingSystem:
             tracker=self.tracker,
             makespan=self.makespan(),
             qos_params=self.qos_params,
+            stream_stats=self.stream_stats,
             timeline=self.timeline,
             executor_stats={
                 "prefill_iterations": self.executor.stats.prefill_iterations,

@@ -35,6 +35,60 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.serving.server import ServingSystem
 
 
+def feed_stream_arrivals(engine, stream, lookahead, on_pop, on_request, label):
+    """Schedule a lazy request stream as a self-refilling event chain.
+
+    The one streaming-admission implementation, shared by
+    :meth:`AdmissionStage.feed` (single instance; ``on_request``
+    admits) and :meth:`ServingCluster.feed <repro.serving.cluster.ServingCluster.feed>`
+    (``on_request`` routes).  Each scheduled arrival pops its successor
+    off the stream *before* processing its own request, so
+
+    * at most ``lookahead`` future requests exist in memory, and
+    * the engine's pending-event horizon always contains the next
+      arrival at the instant any work is planned — the fusion plane
+      therefore sizes exactly the windows the materialised submit path
+      produces (streamed and submitted runs are event-for-event
+      identical).
+
+    ``on_pop`` runs once per request at schedule time — both callers
+    use it for their pending-work accounting, so a run truncated at the
+    horizon still reports scheduled-but-unserved requests as
+    unfinished.
+    """
+    if lookahead <= 0:
+        raise ValueError(f"lookahead must be positive, got {lookahead}")
+    iterator = iter(stream)
+
+    def schedule_next() -> bool:
+        request = next(iterator, None)
+        if request is None:
+            return False
+        if request.arrival_time < engine.now():
+            raise ValueError(
+                f"request {request.req_id} arrives in the past "
+                f"({request.arrival_time} < {engine.now()}) — workload "
+                f"streams must be ordered by arrival time"
+            )
+        on_pop(request)
+        engine.call_at(
+            request.arrival_time,
+            lambda r=request: fire(r),
+            label=f"{label}:{request.req_id}",
+        )
+        return True
+
+    def fire(request: Request) -> None:
+        # Refill before processing: planning triggered by this request
+        # must already see the successor arrival on the event horizon.
+        schedule_next()
+        on_request(request)
+
+    for _ in range(lookahead):
+        if not schedule_next():
+            break
+
+
 class AdmissionStage:
     """Arrivals -> tracker/KV registration -> waiting queue, plus the
     scheduler tick clock (the paper's Δt)."""
@@ -68,6 +122,25 @@ class AdmissionStage:
                 lambda r=request: self.on_arrival(r),
                 label=f"arrival:{request.req_id}",
             )
+
+    # --- streaming admission ---------------------------------------------
+    def feed(self, stream, lookahead: int = 1) -> None:
+        """Drive arrivals from a lazy request stream.
+
+        See :func:`feed_stream_arrivals` for the self-refilling chain
+        and its parity guarantees.  ``lookahead`` > 1 simply primes
+        that many arrivals up front; ordering is unchanged since
+        arrival events fire in time order and same-instant arrivals
+        keep stream order.
+        """
+        system = self.system
+
+        def on_pop(_request: Request) -> None:
+            system._unfinished += 1
+
+        feed_stream_arrivals(
+            self.engine, stream, lookahead, on_pop, self.on_arrival, "arrival"
+        )
 
     def on_arrival(self, request: Request) -> None:
         system = self.system
@@ -322,6 +395,10 @@ class DecodeStream:
         self.running = system.running
         self.prefill_queue = system.prefill_queue
         self.finished = system.finished
+        # Streaming telemetry retires finished requests — the shell's
+        # `finished` list must not pin every Request (and its token
+        # timestamps) for the whole run in that mode.
+        self.keep_finished = system.stream_stats is None
         self.composer = system.composer
         self.last_token_time = 0.0
         # Fusion-plane counters (surfaced in RunReport.executor_stats).
@@ -629,7 +706,8 @@ class DecodeStream:
             self.running.remove(request)
         self.kv.release(request.req_id)
         self.tracker.mark_finished(request.req_id, now)
-        self.finished.append(request)
+        if self.keep_finished:
+            self.finished.append(request)
         system._unfinished -= 1
         if system.on_request_finished is not None:
             system.on_request_finished(request)

@@ -4,20 +4,27 @@ Provides the :class:`~repro.workload.request.Request` lifecycle object
 plus generators for every arrival pattern used in the paper's
 evaluation: bursty flash crowds, Poisson traffic, BurstGPT-like traces
 with burst episodes, and a production-trace synthesizer matching the
-shape of the paper's Figure 11.
+shape of the paper's Figure 11.  Every pattern has a streaming
+spelling (``*_arrival_stream`` / :meth:`WorkloadBuilder.stream`) that
+yields the identical sequence lazily — the entry point of the
+streaming workload plane (see :mod:`repro.workload.stream`).
 """
 
 from repro.workload.request import Request, RequestState
 from repro.workload.lengths import LengthSampler, NormalLengthSampler, LogNormalLengthSampler
 from repro.workload.arrivals import (
+    burst_arrival_stream,
     burst_arrivals,
-    poisson_arrivals,
+    gamma_arrival_stream,
     gamma_arrivals,
+    poisson_arrival_stream,
+    poisson_arrivals,
     staggered_burst_arrivals,
 )
 from repro.workload.burstgpt import BurstGPTTraceGenerator
 from repro.workload.production import ProductionTraceGenerator
 from repro.workload.builder import WorkloadBuilder, WorkloadSpec
+from repro.workload.stream import materialize, ordered, stream_workload
 
 __all__ = [
     "Request",
@@ -26,11 +33,17 @@ __all__ = [
     "NormalLengthSampler",
     "LogNormalLengthSampler",
     "burst_arrivals",
+    "burst_arrival_stream",
     "poisson_arrivals",
+    "poisson_arrival_stream",
     "gamma_arrivals",
+    "gamma_arrival_stream",
     "staggered_burst_arrivals",
     "BurstGPTTraceGenerator",
     "ProductionTraceGenerator",
     "WorkloadBuilder",
     "WorkloadSpec",
+    "materialize",
+    "ordered",
+    "stream_workload",
 ]

@@ -1,20 +1,32 @@
-"""Workload assembly: arrivals + lengths + rates -> Request list.
+"""Workload assembly: arrivals + lengths + rates -> Request list/stream.
 
 A :class:`WorkloadSpec` pins down everything random about a workload;
 :class:`WorkloadBuilder` turns it into concrete ``Request`` objects
 using named RNG streams, so the same spec + seed always yields the
 same workload regardless of which experiment consumes it.
+
+Two spellings share one sampling path: :meth:`WorkloadBuilder.stream`
+yields requests lazily in arrival order (the streaming workload
+plane's entry point — O(1) memory however many requests the spec
+describes), and :meth:`WorkloadBuilder.build` is its
+:func:`~repro.workload.stream.materialize` wrapper returning the
+classic list.  Both produce identical requests: every sampler owns an
+independent named RNG stream, so per-request interleaving of the
+draws equals the historical batch order.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
 from repro.sim.rng import RngStreams
-from repro.workload.arrivals import burst_arrivals, poisson_arrivals
+from repro.workload.arrivals import (
+    burst_arrival_stream,
+    poisson_arrival_stream,
+)
 from repro.workload.burstgpt import BurstGPTTraceGenerator
 from repro.workload.lengths import LengthSampler, NormalLengthSampler
 from repro.workload.production import ProductionTraceGenerator
@@ -118,46 +130,64 @@ class WorkloadSpec:
 
 
 class WorkloadBuilder:
-    """Materialises a :class:`WorkloadSpec` into ``Request`` objects."""
+    """Turns a :class:`WorkloadSpec` into ``Request`` objects — lazily
+    (:meth:`stream`) or as the classic materialised list (:meth:`build`)."""
 
     def __init__(self, spec: WorkloadSpec, rng_streams: RngStreams) -> None:
         self.spec = spec
         self._rng = rng_streams
 
-    def _arrival_times(self) -> np.ndarray:
+    def _arrival_stream(self) -> Iterator[float]:
+        """Arrival timestamps, lazily, in non-decreasing order.
+
+        Rate-driven processes (poisson, production) stream natively —
+        bounded gap-chunk draws, O(1) live timestamps.  Flash crowds
+        are bounded by construction, and the BurstGPT synthesizer must
+        sort baseline + burst overlays before the first arrival is
+        known, so both yield from their materialised arrays.
+        """
         spec = self.spec
         rng = self._rng.stream("arrivals")
         if spec.arrival == "burst":
             assert spec.n_requests is not None
-            return burst_arrivals(
+            return burst_arrival_stream(
                 spec.n_requests, spread=spec.burst_spread,
                 rng=rng if spec.burst_spread > 0 else None,
             )
         if spec.arrival == "poisson":
-            times = poisson_arrivals(spec.poisson_rate, spec.duration, rng)
-        elif spec.arrival == "burstgpt":
-            times = spec.burstgpt.generate(spec.duration, rng)
-        else:  # production
-            times = spec.production.generate(spec.duration, rng)
-        if spec.n_requests is not None:
-            times = times[: spec.n_requests]
-        return times
+            return poisson_arrival_stream(spec.poisson_rate, spec.duration, rng)
+        if spec.arrival == "burstgpt":
+            return iter(spec.burstgpt.generate(spec.duration, rng))
+        return spec.production.generate_stream(spec.duration, rng)
 
-    def build(self) -> list:
-        """Return the request list, sorted by arrival time."""
+    def stream(self) -> Iterator[Request]:
+        """Yield the workload's requests lazily, in arrival order.
+
+        Identical to iterating :meth:`build`'s list: the per-request
+        length/rate draws come from their own named streams, so
+        sampling them as each arrival is popped (instead of after the
+        whole arrival array) yields the same values, and the
+        ``n_requests`` cap simply stops consuming the arrival process
+        (the capped prefix is unchanged).
+        """
+        spec = self.spec
         length_rng = self._rng.stream("lengths")
         rate_rng = self._rng.stream("rates")
-        requests = []
-        for req_id, arrival in enumerate(self._arrival_times()):
-            prompt_len, output_len = self.spec.lengths.sample(length_rng)
-            rate = self.spec.rates.sample(rate_rng)
-            requests.append(
-                Request(
-                    req_id=req_id,
-                    arrival_time=float(arrival),
-                    prompt_len=prompt_len,
-                    output_len=output_len,
-                    rate=rate,
-                )
+        cap = spec.n_requests
+        for req_id, arrival in enumerate(self._arrival_stream()):
+            if cap is not None and req_id >= cap:
+                return
+            prompt_len, output_len = spec.lengths.sample(length_rng)
+            rate = spec.rates.sample(rate_rng)
+            yield Request(
+                req_id=req_id,
+                arrival_time=float(arrival),
+                prompt_len=prompt_len,
+                output_len=output_len,
+                rate=rate,
             )
-        return requests
+
+    def build(self) -> list:
+        """Return the request list, sorted by arrival time (the
+        materialised spelling of :meth:`stream`)."""
+        return list(self.stream())

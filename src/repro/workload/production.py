@@ -62,18 +62,23 @@ class ProductionTraceGenerator:
 
     def generate(self, duration: float, rng: np.random.Generator) -> np.ndarray:
         """Sample arrivals over ``[0, duration)`` by Poisson thinning."""
+        return np.asarray(list(self.generate_stream(duration, rng)))
+
+    def generate_stream(self, duration: float, rng: np.random.Generator):
+        """Streaming spelling of :meth:`generate`: arrivals one at a
+        time, identical draw sequence (the thinning loop was always
+        incremental — this just yields instead of accumulating), so
+        memory stays O(1) however long the trace runs."""
         if duration <= 0:
             raise ValueError("duration must be positive")
         upper = self.max_rate()
-        times: list[float] = []
         t = 0.0
         while True:
             t += rng.exponential(1.0 / upper)
             if t >= duration:
-                break
+                return
             if rng.uniform() < self.rate_at(t) / upper:
-                times.append(t)
-        return np.asarray(times)
+                yield t
 
     def rate_histogram(self, duration: float, bins: int = 50) -> tuple:
         """Rate-function histogram for the Figure 11 distribution plot."""

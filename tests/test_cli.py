@@ -88,6 +88,58 @@ class TestScenarioCommands:
             build_parser().parse_args(["run", "table1-h200-a",
                                        "--router", "warp_drive"])
 
+    def test_run_out_writes_json_artifact(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "report.json"
+        code = main(["run", "table1-h200-a", "--scale", "0.05",
+                     "--out", str(path)])
+        assert code == 0
+        assert f"wrote {path}" in capsys.readouterr().out
+        payload = json.loads(path.read_text())
+        assert payload["scenario"]["name"] == "table1-h200-a"
+        assert payload["report"]["n_requests"] > 0
+        # The artifact mirrors `repro profile --json`: executor/kv/
+        # scheduler stats included, per-request rows elided.
+        assert payload["report"]["executor_stats"]["decode_iterations"] > 0
+        assert "pcie_utilisation" in payload["report"]["kv_stats"]
+        assert payload["report"]["scheduler_stats"]["name"] == "tokenflow"
+        assert "per_request" not in payload["report"]
+
+    def test_run_out_json_is_deterministic(self, tmp_path):
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["run", "table1-h200-a", "--scale", "0.05",
+                     "--out", str(first)]) == 0
+        assert main(["run", "table1-h200-a", "--scale", "0.05",
+                     "--out", str(second)]) == 0
+        assert first.read_text() == second.read_text()
+
+    def test_run_out_cluster_payload(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "cluster.json"
+        code = main(["run", "cluster-burst-4x", "--scale", "0.1",
+                     "--out", str(path)])
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["scenario"]["replicas"] == 4
+        assert len(payload["per_instance"]) == 4
+        assert sum(payload["placement_counts"]) == payload["cluster"]["n_requests"]
+
+    def test_run_stream_flag_matches_submit(self, capsys):
+        args = ["run", "table1-h200-a", "--scale", "0.05"]
+        assert main(args) == 0
+        submitted = capsys.readouterr().out
+        assert main(args + ["--stream"]) == 0
+        streamed = capsys.readouterr().out
+        assert submitted == streamed
+
+    def test_run_soak_scenario_streams_natively(self, capsys):
+        # Stream-native scenario with streaming telemetry end-to-end.
+        assert main(["run", "soak-steady", "--scale", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "soak-steady" in out
+
     def test_selftest_registered(self):
         args = build_parser().parse_args(["selftest"])
         assert args.func.__name__ == "cmd_selftest"

@@ -56,6 +56,8 @@ class TestRegistry:
         assert "tab02-tokenflow-no-offload" in names
         assert "cluster-burst-4x" in names
         assert "bursty-sessions" in names
+        assert "soak-steady" in names
+        assert "soak-diurnal" in names
 
     def test_listing_has_descriptions(self):
         for name, description in list_scenarios():
@@ -211,3 +213,32 @@ class TestRouterBehaviour:
         run.execute()
         counts = run.target.placement_counts()
         assert all(count > 0 for count in counts)
+
+
+class TestExecuteErrorPaths:
+    def test_unfinished_requests_raise_at_horizon(self):
+        # A horizon shorter than the workload's service time must fail
+        # loudly (mis-sized workload), naming the scenario and count.
+        spec = get_scenario("table1-h200-a", scale=0.1, horizon=0.5)
+        run = build_run(spec)
+        with pytest.raises(RuntimeError, match="unfinished at horizon"):
+            run.execute()
+
+    def test_unfinished_error_names_the_scenario(self):
+        spec = get_scenario("table1-h200-a", scale=0.1, horizon=0.5)
+        with pytest.raises(RuntimeError, match="table1-h200-a"):
+            build_run(spec).execute()
+
+    def test_streamed_execute_also_raises(self):
+        # The feed() path shares the horizon guard: pending stream
+        # arrivals past the horizon count as unfinished.
+        spec = get_scenario("soak-steady", scale=0.01, horizon=2.0)
+        with pytest.raises(RuntimeError, match="unfinished at horizon"):
+            build_run(spec).execute()
+
+    def test_workloadless_spec_requires_requests(self):
+        from repro.scenarios.spec import ScenarioSpec
+
+        spec = ScenarioSpec(name="adhoc")
+        with pytest.raises(ValueError, match="workload factory"):
+            build_run(spec)

@@ -5,7 +5,12 @@ import math
 import pytest
 
 from repro.core.tracker import RequestTracker
-from repro.serving.metrics import RunReport, build_report
+from repro.serving.metrics import (
+    RunReport,
+    aggregate_reports,
+    build_report,
+    report_fingerprint,
+)
 from repro.workload.request import RequestState
 from tests.conftest import make_request
 
@@ -80,3 +85,54 @@ class TestBuildReport:
         row = report.summary_row()
         assert row[0] == "test"
         assert len(row) == len(RunReport.summary_headers())
+
+
+class TestAggregateReportsEdgeCases:
+    def test_single_report_identity(self):
+        # Folding one report must reproduce it exactly — every
+        # aggregate and every per-request record.
+        report = build_report("solo", tracked_run(), makespan=9.0)
+        folded = aggregate_reports([report], system="solo")
+        assert report_fingerprint(folded) == report_fingerprint(report)
+
+    def test_zero_finished_requests(self):
+        # A run where nothing ever started: registered requests with
+        # no tokens, no TTFTs — aggregates must stay NaN-safe.
+        tracker = RequestTracker()
+        tracker.register(make_request(req_id=1))
+        tracker.register(make_request(req_id=2))
+        report = build_report("stalled", tracker, makespan=5.0)
+        folded = aggregate_reports([report])
+        assert folded.n_requests == 2
+        assert folded.n_finished == 0
+        assert folded.total_tokens == 0
+        assert folded.throughput == 0.0
+        assert math.isnan(folded.ttft_mean)
+        assert math.isnan(folded.ttft_p99)
+        assert folded.stall_total == 0.0
+
+    def test_empty_instance_does_not_skew_makespan(self):
+        # A cluster instance that served nothing reports n_requests=0
+        # with the floor makespan; the aggregate must take its wall
+        # from instances that actually served requests.
+        busy = build_report("busy", tracked_run(), makespan=9.0)
+        idle_tracker = RequestTracker()
+        idle = build_report("idle", idle_tracker, makespan=0.0)
+        folded = aggregate_reports([busy, idle])
+        assert folded.makespan == busy.makespan
+        assert folded.n_requests == busy.n_requests
+        assert folded.throughput == pytest.approx(busy.throughput)
+        assert folded.ttft_mean == pytest.approx(busy.ttft_mean)
+
+    def test_all_instances_empty(self):
+        reports = [build_report(f"n{i}", RequestTracker(), makespan=0.0)
+                   for i in range(3)]
+        folded = aggregate_reports(reports)
+        assert folded.n_requests == 0
+        assert folded.makespan == pytest.approx(1e-9)
+        assert math.isnan(folded.ttft_mean)
+
+    def test_no_reports_at_all(self):
+        folded = aggregate_reports([])
+        assert folded.n_requests == 0
+        assert folded.preemptions == 0
