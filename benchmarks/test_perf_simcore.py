@@ -216,6 +216,37 @@ def test_perf_simcore_table1_h200a(benchmark):
         bare_rss_kb = prev_opt.get("peak_rss_kb", 0)
         rss_source = "carried" if bare_rss_kb else "unavailable"
 
+    # Per-PR trajectory rows: each entry is one committed state of the
+    # harness (wall, calls, bare RSS, free-form note).  A re-run inside
+    # the same PR — detected by a call count within 1% of the last row
+    # — replaces that row instead of appending, so the list stays one
+    # row per landed change.  Set REPRO_BENCH_NOTE to label the row.
+    history = list(previous.get("history", []))
+    if not history and previous.get("optimized"):
+        prev_opt = previous["optimized"]
+        history.append({
+            "wall_s": prev_opt.get("wall_s"),
+            "total_calls": prev_opt.get("total_calls"),
+            "peak_rss_kb": prev_opt.get("peak_rss_kb"),
+            "calls_speedup": previous.get("speedup", {}).get("calls"),
+            "notes": "pre-history artifact state (carried forward)",
+        })
+    row = {
+        "wall_s": report.wall_s,
+        "total_calls": report.total_calls,
+        "peak_rss_kb": bare_rss_kb,
+        "calls_speedup": call_ratio,
+        "notes": os.environ.get("REPRO_BENCH_NOTE", ""),
+    }
+    if history and abs(
+        (history[-1].get("total_calls") or 0) - row["total_calls"]
+    ) <= 0.01 * row["total_calls"]:
+        if not row["notes"]:
+            row["notes"] = history[-1].get("notes", "")
+        history[-1] = row
+    else:
+        history.append(row)
+
     payload = {
         "workload": "TABLE1 h200/(a) scale=1.0 seed=0, tokenflow",
         "baseline": BASELINE | {"metrics": BASELINE_METRICS},
@@ -236,6 +267,7 @@ def test_perf_simcore_table1_h200a(benchmark):
             "calls": call_ratio,
         },
         "best": {"calls": best_calls},
+        "history": history,
         "micro": micro,
         "notes": previous.get("notes", {}),
     }

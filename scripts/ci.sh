@@ -7,8 +7,10 @@
 #   scripts/ci.sh --fast   fast lane: everything not marked `slow`
 #                          (unit/integration/scenario/orchestration
 #                          tests, including the fused-vs-unfused decode
-#                          parity checks in tests/test_serving_fusion.py),
-#                          plus a 2-worker `repro matrix` smoke cell;
+#                          parity checks in tests/test_serving_fusion.py
+#                          and the vectorised-vs-scalar parity sweep in
+#                          tests/test_serving_vectorize.py), plus a
+#                          2-worker `repro matrix` smoke cell;
 #                          targets < 60 s
 #
 # The perf wall-clock gate is relaxed in both lanes so slow/loaded
@@ -35,7 +37,7 @@ export REPRO_PERF_NO_WALL_GATE=1
 # what trailing steps are added after this block.
 rc=0
 if [[ "$FAST" -eq 1 ]]; then
-  echo "== fast lane: pytest -m 'not slow' (incl. decode-fusion parity) =="
+  echo "== fast lane: pytest -m 'not slow' (incl. fusion + vectorize parity) =="
   python -m pytest -x -q -m "not slow" || rc=$?
   if [[ "$rc" -eq 0 ]]; then
     # Orchestrator smoke: one tiny scenario cell across 2 worker

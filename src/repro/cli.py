@@ -354,10 +354,12 @@ def cmd_profile(args) -> int:
     setup = TABLE1[key]
     requests = build_workload(setup, scale=args.scale, seed=args.seed)
     fuse = not args.no_fuse
+    vectorize = not args.no_vectorize
 
     def run():
         return run_comparison(
             (args.system,), requests, horizon=50_000.0, fuse_decode=fuse,
+            vectorize_decode=vectorize,
             **serving_kwargs(setup, args.scale),
         )
 
@@ -365,8 +367,12 @@ def cmd_profile(args) -> int:
     run_report = report.result[args.system]
     print(f"{setup.label()} · {args.system} · {len(requests)} requests, "
           f"{run_report.total_tokens} tokens"
-          + ("" if fuse else " · fuse_decode=off"))
+          + ("" if fuse else " · fuse_decode=off")
+          + ("" if vectorize else " · vectorize_decode=off"))
     print(report.render(top=args.top))
+    if args.by_subsystem:
+        print()
+        print(report.render_subsystems())
     if args.json:
         payload = report.to_dict(top=args.top)
         payload["workload"] = {
@@ -508,6 +514,12 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--no-fuse", action="store_true",
                       help="disable macro-step decode fusion "
                            "(fuse_decode=False) to diff fusion wins")
+    prof.add_argument("--no-vectorize", action="store_true",
+                      help="disable the vectorised batch plane "
+                           "(vectorize_decode=False) to diff its wins")
+    prof.add_argument("--by-subsystem", action="store_true",
+                      help="also print exclusive time per subsystem "
+                           "(executor/buffer/tracker/kv/...)")
     prof.set_defaults(func=cmd_profile)
     return parser
 

@@ -68,6 +68,11 @@ class ClientBuffer:
         # Compact aggregate: occupancy-at-generation histogram
         # {occupancy -> token count}, enough for Eq. 1 / §7.1.3 weights.
         self._occ_hist: dict = {}
+        # Unmerged histogram contributions from the vectorised batch
+        # plane: (values, counts) numpy-array pairs, one per fused
+        # window, folded into ``_occ_hist`` lazily on first read
+        # (histogram addition commutes, so deferring is exact).
+        self._occ_pending: list = []
         self._occ_max = 0
         # Optional unbounded per-token traces (plots, JSONL export).
         self._trace = record_trace
@@ -169,9 +174,13 @@ class ClientBuffer:
         one call instead of K.
 
         ``timestamps`` must be non-decreasing (a violation raises, as
-        in :meth:`deliver`).  The pacing interval is read once: callers
-        must not change the rate mid-call (the serving loop cannot —
-        rate changes land at scheduler ticks, between windows).
+        in :meth:`deliver`).  The pacing interval is read once: a rate
+        change mid-call (e.g. from a generator driving ``timestamps``)
+        raises RuntimeError — the serving loop cannot hit this, since
+        rate changes land at scheduler ticks, between windows.  The
+        vectorised batch plane (:mod:`repro.serving.batchstate`) bakes
+        the same assumption into its array kernel, and reads/writes
+        this buffer's private state directly under that contract.
         """
         interval = self.interval
         occ_hist = self._occ_hist
@@ -187,6 +196,11 @@ class ClientBuffer:
         stall_time = self._stall_time
         occ_max = self._occ_max
         for timestamp in timestamps:
+            if self.interval != interval:
+                raise RuntimeError(
+                    "rate changed mid-delivery: set_rate must not run "
+                    "while deliver_many is iterating its timestamps"
+                )
             if last_gen is not None and timestamp < last_gen:
                 raise ValueError("deliveries must have non-decreasing timestamps")
             last_gen = timestamp
@@ -293,6 +307,34 @@ class ClientBuffer:
         """Accumulated rebuffer time (seconds), excluding startup delay."""
         return self._stall_time
 
+    def _flush_occ_pending(self) -> None:
+        """Fold the batch plane's deferred histogram slices into the dict.
+
+        The dict's own entries and every pending slice are merged with
+        one dense ``np.bincount`` (occupancies are small non-negative
+        ints) and the dict is rebuilt with C-level ``dict(zip(...))`` —
+        no per-bucket Python loop.  Counts are integers, so the merge
+        is exact regardless of grouping; keys come back sorted.
+        """
+        import numpy as np
+
+        pending = self._occ_pending
+        hist = self._occ_hist
+        vals = [v for v, _ in pending]
+        counts = [c for _, c in pending]
+        if hist:
+            n = len(hist)
+            vals.append(np.fromiter(hist.keys(), np.int64, count=n))
+            counts.append(np.fromiter(hist.values(), np.int64, count=n))
+        total = np.bincount(
+            np.concatenate(vals), weights=np.concatenate(counts)
+        )
+        nonzero = np.nonzero(total)[0]
+        self._occ_hist = dict(
+            zip(nonzero.tolist(), total[nonzero].astype(np.int64).tolist())
+        )
+        pending.clear()
+
     @property
     def occupancy_histogram(self) -> dict:
         """``{B -> count}`` over all delivered tokens (treat read-only).
@@ -301,6 +343,8 @@ class ClientBuffer:
         instant — the compact aggregate behind Eq. 1 and the §7.1.3
         effective-throughput weights.
         """
+        if self._occ_pending:
+            self._flush_occ_pending()
         return self._occ_hist
 
     @property

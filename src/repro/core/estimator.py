@@ -16,6 +16,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Optional
 
+import numpy as np
+
 
 class SlidingWindowMean:
     """Mean of the last ``window`` observations, O(1) per update."""
@@ -50,7 +52,17 @@ class SlidingWindowMean:
         feeds skipped per-iteration footprint observations through
         here, so bulk-vs-sequential bit-parity is a contract
         (pinned by tests/test_core_estimator.py).
+
+        An ``np.ndarray`` input takes an equally exact array path: the
+        replayed fold is expressed as one running cumulative sum.
+        ``x - a == x + (-a)`` for every float, and prepending the
+        current ``_sum`` keeps the fold's grouping, so ``np.cumsum``
+        (a sequential scan) performs the identical additions the loop
+        would.
         """
+        if isinstance(values, np.ndarray):
+            self._observe_array(values)
+            return
         window = self._window
         dq = self._values
         n_old = len(dq)
@@ -62,6 +74,30 @@ class SlidingWindowMean:
             total += combined[i]
         self._sum = total
         dq.extend(values)
+
+    def _observe_array(self, values: np.ndarray) -> None:
+        window = self._window
+        dq = self._values
+        n_old = len(dq)
+        n_new = values.size
+        if n_new == 0:
+            return
+        n_total = n_old + n_new
+        combined = np.empty(n_total)
+        combined[:n_old] = dq
+        combined[n_old:] = values
+        # New entries landing at combined index < window add without
+        # evicting; from index `window` on, each addition is preceded
+        # by the eviction of the entry one full window earlier.
+        m = min(max(window - n_old, 0), n_new)
+        seq = np.empty(1 + m + 2 * (n_new - m))
+        seq[0] = self._sum
+        seq[1:1 + m] = combined[n_old:n_old + m]
+        tail = seq[1 + m:]
+        tail[0::2] = -combined[n_old + m - window:n_total - window]
+        tail[1::2] = combined[n_old + m:]
+        self._sum = float(np.cumsum(seq)[-1])
+        dq.extend(values.tolist())
 
     def mean(self) -> Optional[float]:
         if not self._values:

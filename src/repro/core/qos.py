@@ -22,6 +22,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Optional, Sequence
 
+import numpy as np
+
+# Histograms at least this long take the array fold; below it the
+# plain loop wins (numpy call overhead exceeds the per-item work).
+_FOLD_VECTOR_MIN = 64
+
 
 @dataclass(frozen=True)
 class QoSParams:
@@ -108,11 +114,25 @@ def effective_token_count_hist(
     Occupancies are small integers, so grouping by value evaluates the
     weight once per distinct B instead of once per token — the compact
     aggregate :class:`repro.client.buffer.ClientBuffer` maintains.
+    The weight is inlined: ``sum()`` folds left-to-right from 0, so the
+    loop below performs the identical float additions.
     """
-    return sum(
-        count * effective_token_weight(b, output_len, tau1_frac, tau2_frac)
-        for b, count in occupancy_hist.items()
-    )
+    if output_len <= 0:
+        raise ValueError("output_len must be positive")
+    if not 0 < tau1_frac < tau2_frac:
+        raise ValueError("need 0 < tau1_frac < tau2_frac")
+    tau1 = tau1_frac * output_len
+    tau2 = tau2_frac * output_len
+    span = tau2 - tau1
+    total = 0.0
+    for b, count in occupancy_hist.items():
+        if b <= tau1:
+            total += count * 1.0
+        elif b >= tau2:
+            total += count * 0.0
+        else:
+            total += count * ((tau2 - b) / span)
+    return total
 
 
 def request_qos_terms(
@@ -136,13 +156,87 @@ def request_qos_terms_hist(
     params: QoSParams,
 ) -> float:
     """:func:`request_qos_terms` from a ``{B -> count}`` histogram."""
+    utility_sum = _utility_fold(occupancy_hist, output_len, params)
+    return utility_sum - params.lam * ttft - params.mu * rebuffer
+
+
+def _utility_fold(occupancy_hist: Mapping, output_len: int, params: QoSParams) -> float:
+    """Eq. (1) utility summed over a histogram, weight inlined.
+
+    Same left-to-right fold (and therefore the same float results) as
+    ``sum(count * token_utility(b, tau, alpha) for b, count in ...)``.
+    """
     tau = params.resolve_tau(output_len)
     alpha = params.alpha
-    utility_sum = sum(
-        count * token_utility(b, tau, alpha)
-        for b, count in occupancy_hist.items()
-    )
-    return utility_sum - params.lam * ttft - params.mu * rebuffer
+    total = 0.0
+    for b, count in occupancy_hist.items():
+        if b <= tau:
+            total += count * 1.0
+        else:
+            u = 1.0 - alpha * (b - tau)
+            total += count * (u if u > 0.0 else 0.0)
+    return total
+
+
+def fold_hist_metrics(
+    occupancy_hist: Mapping,
+    output_len: int,
+    params: QoSParams,
+    tau1_frac: float = 0.10,
+    tau2_frac: float = 0.20,
+) -> tuple:
+    """Single pass over a ``{B -> count}`` histogram computing both
+    token-weighting schemes: ``(effective_token_count, utility_sum)``.
+
+    The reporting fold needs the §7.1.3 effective count *and* the
+    Eq. (1) utility sum for every finished request; walking the
+    histogram once halves the dominant per-request metric cost.  Each
+    accumulator performs exactly the float operations of its
+    standalone sibling (:func:`effective_token_count_hist`,
+    :func:`request_qos_terms_hist`'s utility fold), so the pair is
+    bit-identical to two separate calls.
+    """
+    if output_len <= 0:
+        raise ValueError("output_len must be positive")
+    if not 0 < tau1_frac < tau2_frac:
+        raise ValueError("need 0 < tau1_frac < tau2_frac")
+    tau1 = tau1_frac * output_len
+    tau2 = tau2_frac * output_len
+    span = tau2 - tau1
+    tau = params.resolve_tau(output_len)
+    alpha = params.alpha
+    n = len(occupancy_hist)
+    if n >= _FOLD_VECTOR_MIN:
+        # Array fold, bit-identical to the loop below: the per-bucket
+        # weights are the same elementwise IEEE operations, and the
+        # accumulation uses np.cumsum — which is *sequential* (unlike
+        # np.sum's pairwise tree) — so the partial sums replay the
+        # loop's left-to-right additions exactly.
+        b = np.fromiter(occupancy_hist.keys(), np.float64, count=n)
+        counts = np.fromiter(occupancy_hist.values(), np.float64, count=n)
+        w_eff = np.where(
+            b <= tau1, 1.0, np.where(b >= tau2, 0.0, (tau2 - b) / span)
+        )
+        u = 1.0 - alpha * (b - tau)
+        w_util = np.where(b <= tau, 1.0, np.where(u > 0.0, u, 0.0))
+        effective = float(np.cumsum(counts * w_eff)[-1])
+        utility = float(np.cumsum(counts * w_util)[-1])
+        return effective, utility
+    effective = 0.0
+    utility = 0.0
+    for b, count in occupancy_hist.items():
+        if b <= tau1:
+            effective += count * 1.0
+        elif b >= tau2:
+            effective += count * 0.0
+        else:
+            effective += count * ((tau2 - b) / span)
+        if b <= tau:
+            utility += count * 1.0
+        else:
+            u = 1.0 - alpha * (b - tau)
+            utility += count * (u if u > 0.0 else 0.0)
+    return effective, utility
 
 
 def qos_score(per_request_terms: Iterable, total_time: float) -> float:

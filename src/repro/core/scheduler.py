@@ -24,10 +24,11 @@ Each tick (Δt, the paper's reschedule interval):
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
 from itertools import chain
 from typing import Optional
+
+import numpy as np
 
 from repro.core.balancer import BufferBalancer, Candidate
 from repro.core.estimator import PrefillCostEstimator, QueueDelayEstimator
@@ -140,18 +141,18 @@ class TokenFlowScheduler(BaseScheduler):
         # Opportunistic resume: fill idle decode slots from the
         # preempted pool (the balancer evicted them under pressure; if
         # the pressure is gone they should run again).  At most `slots`
-        # resumes can land, so rank only that many (nsmallest is stable
-        # and equivalent to sorted(...)[:slots]); with no free slot the
+        # resumes can land, so rank only that many; with no free slot the
         # ranking is skipped entirely — the common case under load.
         active = len(view.running) + len(view.loading) + len(view.prefill_queue)
         slots = view.max_batch - active
         if slots > 0 and view.preempted:
-            buffers = view.buffer_state()
-            starved_first = heapq.nsmallest(
-                slots,
-                view.preempted,
-                key=lambda r: buffers.buffer_seconds(r.req_id),
-            )
+            # Stable smallest-k by buffer seconds: decorating with the
+            # original index reproduces a key-stable nsmallest without
+            # a per-element key callback.
+            preempted = view.preempted
+            seconds = view.buffer_state().buffer_seconds_many(preempted)
+            decorated = sorted([(s, i) for i, s in enumerate(seconds)])[:slots]
+            starved_first = [preempted[i] for _, i in decorated]
             for request in starved_first:
                 needed = view.kv.blocks_for_tokens(request.context_len)
                 if needed + watermark > free:
@@ -200,11 +201,17 @@ class TokenFlowScheduler(BaseScheduler):
         policy = self._working_set
         if policy is None or n_iters <= 0:
             return
-        base = [r.prompt_len + r.generated for r in running]
-        observations: list = []
-        for j in range(1, n_iters + 1):
-            observations += [float(c + j) for c in base]
-        policy.replay_footprints(observations)
+        if not running:
+            return
+        # Outer-add the j offsets over the batch's context lengths in
+        # one array op; ravel order (j-major) matches the skipped
+        # per-boundary call order, and all values are exact small
+        # integers, so the estimator sees bit-identical observations.
+        base = np.array(
+            [r.prompt_len + r.generated for r in running], dtype=np.float64
+        )
+        js = np.arange(1.0, n_iters + 1.0)
+        policy.replay_footprints((base[None, :] + js[:, None]).ravel())
 
     def _route_resume(
         self, view: SystemView, request, decision: SchedulerDecision
@@ -248,9 +255,10 @@ class TokenFlowScheduler(BaseScheduler):
         # §3.3): a preempted request that will cross T_critical before
         # the next pass counts as critical now.
         threshold = self.params.critical_buffer_s + self.params.tick_interval
-        buffers = view.buffer_state()
-        for request in view.preempted:
-            if buffers.buffer_seconds(request.req_id) < threshold:
+        preempted = view.preempted
+        if preempted:
+            seconds = view.buffer_state().buffer_seconds_many(preempted)
+            if min(seconds) < threshold:
                 return True
         return False
 
@@ -381,10 +389,11 @@ class TokenFlowScheduler(BaseScheduler):
         # _assign_resume_modes relies on — it must not re-sort.
         resident_after = len(view.running) + len(view.loading) - len(preempts)
         slots = max(0, view.max_batch - resident_after)
-        buffers = view.buffer_state()
-        resumes = sorted(
-            resumes, key=lambda r: buffers.buffer_seconds(r.req_id)
-        )[:slots]
+        seconds = view.buffer_state().buffer_seconds_many(resumes)
+        resumes = [
+            resumes[i]
+            for _, i in sorted([(s, i) for i, s in enumerate(seconds)])[:slots]
+        ]
         self._assign_resume_modes(view, resumes, decision, extra_free_blocks=freed)
 
     def _candidate(

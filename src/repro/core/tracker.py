@@ -51,6 +51,10 @@ class TrackerSnapshot:
     def buffer_seconds(self, req_id: int) -> float:
         return self._tracker.buffer_seconds(req_id, self.now)
 
+    def buffer_seconds_many(self, requests: Sequence) -> list:
+        """Bulk :meth:`buffer_seconds`, one float per request."""
+        return self._tracker.buffer_seconds_many(requests, self.now)
+
     def min_buffer_seconds(self, requests: Sequence) -> float:
         """Smallest buffer (seconds) across ``requests`` (non-empty)."""
         return self._tracker.min_buffer_seconds(requests, self.now)
@@ -139,6 +143,16 @@ class RequestTracker:
         (The memo dict is cleared in place, never rebound, so the bound
         method stays valid for the tracker's lifetime.)"""
         return self._memo_occ.pop
+
+    def invalidate_occupancy_all(self) -> None:
+        """Drop every memoised occupancy in one call.
+
+        The vectorised decode plane mutates a whole batch of buffers at
+        once; clearing the memo outright is always semantically safe
+        (it is a pure cache — misses recompute the identical value) and
+        cheaper than one ``pop`` per batch member.
+        """
+        self._memo_occ.clear()
 
     # --- event hooks --------------------------------------------------------
     def deliver_token(self, req_id: int, timestamp: float) -> None:
@@ -239,6 +253,33 @@ class RequestTracker:
         """Buffer occupancy measured in seconds of consumption."""
         occ, buffer = self._memo_entry(req_id, now)
         return occ * buffer.interval
+
+    def buffer_seconds_many(self, requests: Sequence, now: float) -> list:
+        """:meth:`buffer_seconds` for each request, one flat pass.
+
+        Same values as the per-request query (it fills the same
+        per-instant memo); batched for the scheduler's ranking passes,
+        which decorate-sort the result instead of paying a key
+        callback per element.
+        """
+        if now != self._memo_now:
+            self._memo_now = now
+            self._memo_occ.clear()
+        memo = self._memo_occ
+        memo_get = memo.get
+        entries = self._entries
+        out = []
+        append = out.append
+        for request in requests:
+            req_id = request.req_id
+            cached = memo_get(req_id)
+            if cached is None:
+                buffer = entries[req_id].buffer
+                cached = (buffer.occupancy(now), buffer)
+                memo[req_id] = cached
+            occ, buffer = cached
+            append(occ * buffer.interval)
+        return out
 
     def min_buffer_seconds(self, requests: Sequence, now: float) -> float:
         """Smallest ``buffer_seconds`` across ``requests`` (non-empty).

@@ -81,7 +81,7 @@ class LLMExecutor:
         """
         if not contexts:
             raise ValueError("decode batch must be non-empty")
-        req_ids = tuple(req_id for req_id, _ in contexts)
+        req_ids = tuple([req_id for req_id, _ in contexts])
         duration = self.latency.decode_step_time([length for _, length in contexts])
         return IterationResult(
             kind="decode", duration=duration, req_ids=req_ids, tokens=len(contexts)
@@ -119,7 +119,7 @@ class LLMExecutor:
         stats.decode_iterations += k
         stats.decode_tokens += tokens * k
         window = stats.recent_decode
-        window.extend((tokens, duration) for duration in step_durations)
+        window.extend([(tokens, duration) for duration in step_durations])
         if len(window) > self.CAPACITY_WINDOW:
             del window[: len(window) - self.CAPACITY_WINDOW]
 

@@ -57,6 +57,9 @@ class ScenarioSpec:
             :class:`~repro.serving.config.ServingConfig`); off runs one
             event per decode iteration, for debugging and fused-vs-
             unfused parity/perf diffs.
+        vectorize_decode: struct-of-arrays batch delivery switch (see
+            :class:`~repro.serving.config.ServingConfig`); off runs
+            the scalar per-request path bit-for-bit.
         record_token_traces: keep per-token buffer traces (plots/export).
     """
 
@@ -77,6 +80,7 @@ class ScenarioSpec:
     workload_stream: Optional[Callable[["ScenarioSpec"], Iterator]] = None
     tokenflow_params: Optional[object] = None
     fuse_decode: bool = True
+    vectorize_decode: bool = True
     retain_per_request: bool = True
     record_token_traces: bool = False
 

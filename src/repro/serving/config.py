@@ -42,6 +42,15 @@ class ServingConfig:
             summation order of a few reporting aggregates is the only
             difference); switch off to debug with one event per decode
             iteration.
+        vectorize_decode: advance the whole decode batch's client
+            buffers with struct-of-arrays numpy kernels
+            (:mod:`repro.serving.batchstate`) instead of per-request
+            scalar loops, and switch the PCIe drain's per-request
+            occupancy bookkeeping to one bulk call.  Busy horizons and
+            all integer metrics are exact; a few float reporting
+            aggregates differ in summation order, within the same
+            rel-1e-9 envelope as ``fuse_decode``.  ``False`` preserves
+            the scalar path bit-for-bit.
         retain_per_request: keep every finished request's tracker entry
             (and its :class:`~repro.serving.metrics.RequestMetrics`
             row) until report time — the exact historical pipeline,
@@ -76,6 +85,7 @@ class ServingConfig:
     prefill_chunk_size: int = 2048
     kv: KVManagerConfig = field(default_factory=KVManagerConfig)
     fuse_decode: bool = True
+    vectorize_decode: bool = True
     retain_per_request: bool = True
     record_token_traces: bool = False
     timeline_cap: int = 65536

@@ -27,11 +27,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.analysis.stats import summarize
-from repro.core.qos import (
-    QoSParams,
-    effective_token_count_hist,
-    request_qos_terms_hist,
-)
+from repro.core.qos import QoSParams, fold_hist_metrics
 from repro.core.tracker import RequestTracker
 
 
@@ -224,7 +220,9 @@ class StreamingRunStats:
         caller drop the per-request state."""
         params = self.qos_params
         occ_hist = buffer.occupancy_histogram
-        effective = effective_token_count_hist(occ_hist, request.output_len)
+        effective, utility_sum = fold_hist_metrics(
+            occ_hist, request.output_len, params
+        )
         ttft = request.ttft
         rebuffer = 0.0 if request.is_agent else buffer.stall_time
         self.n_requests += 1
@@ -237,12 +235,12 @@ class StreamingRunStats:
             self.n_finished += 1
         if ttft is not None:
             self.ttft.add(ttft)
-            self.qos_sum += request_qos_terms_hist(
-                occ_hist, request.output_len, ttft, rebuffer, params
+            self.qos_sum += (
+                utility_sum - params.lam * ttft - params.mu * rebuffer
             )
         else:
-            self.qos_pending += request_qos_terms_hist(
-                occ_hist, request.output_len, 0.0, rebuffer, params
+            self.qos_pending += (
+                utility_sum - params.lam * 0.0 - params.mu * rebuffer
             )
             self.n_no_ttft += 1
 
@@ -439,18 +437,18 @@ def build_report(
         # B_{i,j} list — it works whether or not the buffer keeps full
         # traces, and evaluates each weight once per distinct value.
         occ_hist = buffer.occupancy_histogram
-        effective = effective_token_count_hist(occ_hist, request.output_len)
+        effective, utility_sum = fold_hist_metrics(
+            occ_hist, request.output_len, params
+        )
         ttft = request.ttft
         # Agent clients (§8) have no real-time consumer: their
         # reference rate is a priority signal, so "stalls" against it
         # carry no experience penalty.
         rebuffer = 0.0 if request.is_agent else buffer.stall_time
-        qos_term = request_qos_terms_hist(
-            occ_hist,
-            request.output_len,
-            ttft if ttft is not None else makespan,
-            rebuffer,
-            params,
+        qos_term = (
+            utility_sum
+            - params.lam * (ttft if ttft is not None else makespan)
+            - params.mu * rebuffer
         )
         per_request.append(
             RequestMetrics(

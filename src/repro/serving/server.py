@@ -83,6 +83,11 @@ class ServingSystem:
             config=config.kv,
         )
         self.kv.on_memory_freed = self._kick
+        # Bulk PCIe accounting rides the same gate as the vectorised
+        # decode plane: busy horizons are exact either way, but the
+        # closed-form byte totals differ from N sequential additions
+        # by summation order (vectorize_decode=False stays bit-exact).
+        self.kv.bulk_pcie_accounting = config.vectorize_decode
         # Streaming telemetry (retain_per_request=False): finished
         # requests retire into this accumulator and their tracker
         # entries are dropped — memory stays O(active requests).
@@ -270,6 +275,32 @@ class ServingSystem:
         if len(timeline) >= self.config.timeline_cap:
             del timeline[1::2]
             self._timeline_stride *= 2
+
+    def _sample_timeline_many(self, instants) -> None:
+        """:meth:`_sample_timeline_at` for a fused window's boundaries.
+
+        Queue lengths are frozen across a fused window (no admission,
+        completion, or preemption between its interior boundaries), so
+        the lengths are read once and the stride/decimation bookkeeping
+        runs in one pass — identical samples, one call per window.
+        """
+        stride = self._timeline_stride
+        pending = self._timeline_pending
+        timeline = self.timeline
+        cap = self.config.timeline_cap
+        queued = len(self.waiting) + len(self.prefill_queue)
+        running = len(self.running)
+        for now in instants:
+            pending += 1
+            if pending < stride:
+                continue
+            pending = 0
+            timeline.append((now, queued, running))
+            if len(timeline) >= cap:
+                del timeline[1::2]
+                stride *= 2
+        self._timeline_stride = stride
+        self._timeline_pending = pending
 
     def view(self) -> SystemView:
         """Snapshot for schedulers (lists are live; treat as read-only)."""

@@ -25,10 +25,10 @@ bit-for-bit.
 
 from __future__ import annotations
 
-import heapq
 from typing import TYPE_CHECKING, Optional
 
 from repro.memory.blocks import OutOfMemory
+from repro.serving.batchstate import deliver_batch
 from repro.workload.request import Request, RequestState
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -267,9 +267,11 @@ class BatchComposer:
             # Recompute-resumes have live consumers draining a buffer;
             # they bypass fresh admissions (§4.2.3 latency-sensitive
             # bypass).  Fresh requests keep FCFS order among themselves.
-            queue = sorted(
-                queue, key=lambda r: (r.generated == 0, r.arrival_time)
+            order = sorted(
+                [((r.generated == 0, r.arrival_time), i)
+                 for i, r in enumerate(queue)]
             )
+            queue = [queue[i] for _, i in order]
         for request in queue:
             if budget <= 0:
                 break
@@ -300,23 +302,20 @@ class BatchComposer:
             self.scheduler, "decode_priority_aware", False
         ):
             # More residents than decode slots: serve the most starved.
-            # nsmallest == sorted(...)[:max_batch] (it is stable), but
-            # only does O(n log k) work.
+            # Bulk seconds + decorate-sort == a stable nsmallest by
+            # buffer seconds, without a key callback per element.
             now = self.engine.now()
-            tracker = self.tracker
-            batch = heapq.nsmallest(
-                self.config.max_batch,
-                self.running,
-                key=lambda r: tracker.buffer_seconds(r.req_id, now),
-            )
+            running = self.running
+            seconds = self.tracker.buffer_seconds_many(running, now)
+            order = sorted([(s, i) for i, s in enumerate(seconds)])
+            batch = [running[i] for _, i in order[: self.config.max_batch]]
         else:
             batch = list(self.running[: self.config.max_batch])
         # Growth blocks are a function of each request's own KV record,
         # so one computation serves both the deficit check and the
         # batch-fitting pass (preempting a victim never changes another
         # request's growth).
-        growth_of = self.kv.decode_growth_blocks
-        growth = {r.req_id: growth_of(r.req_id) for r in batch}
+        growth = self.kv.decode_growth_blocks_bulk(batch)
         batch = self.memory.resolve_deficit(batch, growth)
         # Greedily keep the prefix of the batch that fits.
         fitted: list = []
@@ -352,8 +351,14 @@ class MemoryPressureStage:
             victims = self.scheduler.select_oom_victims(system.view(), deficit)
             running = system.running
             for victim in victims:
-                if victim in running and victim.state is RequestState.RUNNING:
-                    system.offload.preempt(victim)
+                # Identity scan: req_ids are unique, so `victim in
+                # running` could only ever match the same object — the
+                # scan skips the dataclass field-by-field __eq__.
+                for member in running:
+                    if member is victim:
+                        if victim.state is RequestState.RUNNING:
+                            system.offload.preempt(victim)
+                        break
             batch = [r for r in batch if r.state is RequestState.RUNNING]
         return batch
 
@@ -401,6 +406,12 @@ class DecodeStream:
         self.keep_finished = system.stream_stats is None
         self.composer = system.composer
         self.last_token_time = 0.0
+        # Vectorised batch plane (serving/batchstate.py): deliver each
+        # decode batch's tokens through array ops instead of the
+        # per-request scalar state machine.  Same parity contract as
+        # the fusion plane; `vectorize_decode=False` keeps the scalar
+        # path bit-for-bit.
+        self.vectorize = system.config.vectorize_decode
         # Fusion-plane counters (surfaced in RunReport.executor_stats).
         self.fused_windows = 0
         self.fused_iterations = 0
@@ -523,7 +534,7 @@ class DecodeStream:
         n_batch = len(batch)
         if n_batch != len(self.running):
             return None
-        k_cap = min(r.output_len - r.generated for r in batch)
+        k_cap = min([r.output_len - r.generated for r in batch])
         if k_cap <= 1:
             return None
         engine = self.engine
@@ -619,7 +630,7 @@ class DecodeStream:
         k = len(times)
         req_ids = result.req_ids
         running_state = RequestState.RUNNING
-        if any(request.state is not running_state for request in batch):
+        if any([request.state is not running_state for request in batch]):
             # A batch member left RUNNING while this window's event was
             # pending.  No in-simulation event can do that (the window
             # is silent by construction) — only an external call
@@ -637,16 +648,17 @@ class DecodeStream:
             req_ids, k,
             drain_starts=times[:-1] if write_through else None,
         )
-        deliver = self.tracker.deliver_tokens
-        for request in batch:
-            deliver(request.req_id, times)
+        if self.vectorize:
+            deliver_batch(self.tracker, batch, times)
+        else:
+            deliver = self.tracker.deliver_tokens
+            for request in batch:
+                deliver(request.req_id, times)
         if now > self.last_token_time:
             self.last_token_time = now
         # Intermediate samples: queue/batch sizes are frozen inside the
         # window, so only the timestamps differ.
-        sample_at = system._sample_timeline_at
-        for t in times[:-1]:
-            sample_at(t)
+        system._sample_timeline_many(times[:-1])
         for request in batch:
             if request.generated >= request.output_len:
                 self.finish(request, now)
@@ -664,10 +676,60 @@ class DecodeStream:
         # deliver_token are inlined (same operations, same order).
         system = self.system
         now = self.engine.now()
+        running = RequestState.RUNNING
+        if self.vectorize and system.tracer is None:
+            # Single-iteration advance with the KV growth bulked into
+            # one call (bit-identical to per-request on_decode_token —
+            # same allocations, same busy arithmetic).  Delivery stays
+            # scalar here: with one token per request there is no K
+            # dimension to vectorise, and the array kernel's per-row
+            # gather/scatter overhead loses to the O(1) scalar step.
+            # Reordering KV growth ahead of the deliveries is safe —
+            # plan_decode's fitting pass guaranteed every allocation
+            # fits, with or without blocks freed by batch members
+            # finishing this iteration.
+            live = [r for r in batch if r.state is running]
+            if live:
+                self.kv.fused_decode_advance(
+                    tuple([r.req_id for r in live]), 1, None
+                )
+                entries = self.tracker.entries_by_id
+                invalidate = self.tracker.occupancy_invalidator
+                for request in live:
+                    # Request.record_token inlined (the timestamp-order
+                    # check is vacuous here: the engine's clock is
+                    # monotone, so `now` never precedes a past token).
+                    if request.generated >= request.output_len:
+                        raise RuntimeError(
+                            f"request {request.req_id} already generated "
+                            f"all {request.output_len} tokens"
+                        )
+                    if request.ttft is None:
+                        request.ttft = now - request.arrival_time
+                        request.first_token_time = now
+                    request.generated += 1
+                    request.token_times.append(now)
+                    entries[request.req_id].buffer.deliver(now)
+                    if request.generated >= request.output_len:
+                        # The finish hook may read this request's state
+                        # at `now`; drop its memo entry first, exactly
+                        # as the scalar path's per-delivery pop would.
+                        invalidate(request.req_id, None)
+                        self.finish(request, now)
+                # One memo sweep instead of a pop per delivery; the
+                # memo is a pure cache, so over-clearing only costs
+                # recomputes at the next query.
+                self.tracker.invalidate_occupancy_all()
+                if now > self.last_token_time:
+                    self.last_token_time = now
+            self.executor.commit(result)
+            system._sample_timeline()
+            system._busy = False
+            system._kick()
+            return
         on_decode_token = self.kv.on_decode_token
         entries = self.tracker.entries_by_id
         invalidate = self.tracker.occupancy_invalidator
-        running = RequestState.RUNNING
         for request in batch:
             if request.state is not running:
                 continue
@@ -702,8 +764,13 @@ class DecodeStream:
             system.tracer.record(now, "request", "finish",
                                  req_id=request.req_id)
         request.transition(RequestState.FINISHED)
-        if request in self.running:
-            self.running.remove(request)
+        # Identity scan (not `in`/`remove`): req_ids are unique, so
+        # only the same object can match — skip dataclass __eq__.
+        running = self.running
+        for i, member in enumerate(running):
+            if member is request:
+                del running[i]
+                break
         self.kv.release(request.req_id)
         self.tracker.mark_finished(request.req_id, now)
         if self.keep_finished:

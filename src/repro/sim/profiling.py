@@ -47,6 +47,50 @@ class HotSpot:
         }
 
 
+# Filename-prefix rules mapping profile rows onto the simulator's
+# subsystems (first match wins, most specific first).  Rows outside
+# the package — numpy, the stdlib, builtins — fall into "runtime".
+_SUBSYSTEM_RULES = (
+    ("tracker", os.path.join("repro", "core", "tracker.py")),
+    ("scheduler", os.path.join("repro", "core", "")),
+    ("executor", os.path.join("repro", "gpu", "")),
+    ("buffer", os.path.join("repro", "client", "")),
+    ("kv", os.path.join("repro", "memory", "")),
+    ("serving", os.path.join("repro", "serving", "")),
+    ("engine", os.path.join("repro", "sim", "")),
+    ("workload", os.path.join("repro", "workload", "")),
+    ("other", os.path.join("repro", "")),
+)
+
+
+def _classify_subsystem(filename: str) -> str:
+    for name, fragment in _SUBSYSTEM_RULES:
+        if fragment in filename:
+            return name
+    return "runtime"
+
+
+def collect_subsystems(stats: pstats.Stats) -> list:
+    """Per-subsystem exclusive time and call counts, sorted by time.
+
+    Rows are ``{"subsystem", "tottime", "ncalls"}``; tottime is
+    exclusive (non-cumulative), so the column sums to the whole
+    profiled run and attributes each second to exactly one subsystem.
+    """
+    buckets: dict = {}
+    for func, (_cc, nc, tottime, _cumtime, _callers) in stats.stats.items():
+        name = _classify_subsystem(func[0])
+        entry = buckets.setdefault(name, [0.0, 0])
+        entry[0] += tottime
+        entry[1] += nc
+    return [
+        {"subsystem": name, "tottime": entry[0], "ncalls": entry[1]}
+        for name, entry in sorted(
+            buckets.items(), key=lambda kv: kv[1][0], reverse=True
+        )
+    ]
+
+
 @dataclass
 class ProfileReport:
     """Result of :func:`profile_call`."""
@@ -59,7 +103,20 @@ class ProfileReport:
     events_per_s: Optional[float] = None   # filled by callers that know |events|
     hotspots: list = field(default_factory=list)       # [HotSpot], by tottime
     cumulative: list = field(default_factory=list)     # [HotSpot], by cumtime
+    subsystems: list = field(default_factory=list)     # collect_subsystems rows
     result: object = None         # return value of the profiled callable
+
+    def render_subsystems(self) -> str:
+        """The ``--by-subsystem`` table: exclusive seconds per layer."""
+        total = sum(row["tottime"] for row in self.subsystems) or 1.0
+        lines = ["-- by subsystem (exclusive time) --",
+                 f"{'subsystem':<10}  {'tottime':>8}  {'share':>6}  {'ncalls':>12}"]
+        for row in self.subsystems:
+            lines.append(
+                f"{row['subsystem']:<10}  {row['tottime']:>8.3f}  "
+                f"{row['tottime'] / total:>6.1%}  {row['ncalls']:>12,}"
+            )
+        return "\n".join(lines)
 
     def render(self, top: int = 20) -> str:
         lines = [
@@ -103,6 +160,7 @@ class ProfileReport:
             "events_per_s": self.events_per_s,
             "hotspots": [s.to_dict() for s in self.hotspots[:top]],
             "cumulative": [s.to_dict() for s in self.cumulative[:top]],
+            "subsystems": [dict(row) for row in self.subsystems],
         }
 
 
@@ -222,5 +280,6 @@ def profile_call(
         peak_rss_kb=peak_rss_kb,
         hotspots=hotspots,
         cumulative=cumulative,
+        subsystems=collect_subsystems(stats),
         result=result,
     )

@@ -58,12 +58,18 @@ class InvalidTransition(RuntimeError):
     """Raised on a request state transition the lifecycle forbids."""
 
 
-@dataclass
+@dataclass(eq=False)
 class Request:
     """One streaming request.
 
     Workload attributes are immutable after construction; runtime
     attributes are mutated by the serving system.
+
+    Identity semantics (``eq=False``): req_ids are unique within a run
+    and queue membership always means "this very object", so list
+    ``remove``/``in`` on the serving queues compare by identity instead
+    of field-by-field dataclass equality (which would walk the
+    ever-growing ``token_times`` list on every scan).
 
     Attributes:
         req_id: unique id within a run.

@@ -205,3 +205,28 @@ class TestCompareCommand:
         ])
         assert code == 0
         assert "poisson" in capsys.readouterr().out
+
+
+class TestProfileCommand:
+    def test_by_subsystem_renders(self, capsys):
+        assert main(["profile", "--scale", "0.02", "--by-subsystem"]) == 0
+        out = capsys.readouterr().out
+        assert "-- by subsystem (exclusive time) --" in out
+        for name in ("serving", "kv", "buffer"):
+            assert name in out
+
+    def test_no_vectorize_flag(self, capsys):
+        assert main(["profile", "--scale", "0.02", "--no-vectorize"]) == 0
+        out = capsys.readouterr().out
+        assert "vectorize_decode=off" in out
+
+    def test_json_artifact_includes_subsystems(self, capsys, tmp_path):
+        path = tmp_path / "profile.json"
+        assert main(["profile", "--scale", "0.02",
+                     "--json", str(path)]) == 0
+        import json
+
+        payload = json.loads(path.read_text())
+        rows = payload["subsystems"]
+        assert rows and {"subsystem", "tottime", "ncalls"} <= set(rows[0])
+        assert {"buffer", "kv"} <= {row["subsystem"] for row in rows}

@@ -109,3 +109,45 @@ class TestFinal:
         buffer.deliver(0.0)
         buffer.deliver(0.01)
         assert buffer.final_consumption_time() == pytest.approx(0.1)
+
+
+class TestDeliverMany:
+    def test_empty_timestamps_is_noop(self):
+        buffer = ClientBuffer(rate=10.0)
+        buffer.deliver_many([])
+        assert buffer.delivered == 0
+        assert buffer.stall_time == 0.0
+        assert buffer.occupancy_histogram == {}
+
+    def test_single_timestamp_equals_deliver(self):
+        bulk = ClientBuffer(rate=10.0)
+        scalar = ClientBuffer(rate=10.0)
+        for t in (0.0, 0.05, 0.4):
+            bulk.deliver_many([t])
+            scalar.deliver(t)
+        assert bulk.delivered == scalar.delivered
+        assert bulk.stall_time == scalar.stall_time
+        assert bulk.occupancy_histogram == scalar.occupancy_histogram
+        assert bulk.final_consumption_time() == scalar.final_consumption_time()
+
+    def test_rate_change_mid_delivery_raises(self):
+        # The pacing interval is read once per deliver_many call; a
+        # set_rate landing while the timestamps are being iterated
+        # (only reachable from a generator argument) must fail loudly
+        # instead of silently pacing half the window at the old rate.
+        buffer = ClientBuffer(rate=10.0)
+
+        def hostile():
+            yield 0.0
+            buffer.set_rate(20.0)
+            yield 0.1
+
+        with pytest.raises(RuntimeError, match="rate changed mid-delivery"):
+            buffer.deliver_many(hostile())
+
+    def test_rate_change_between_calls_is_fine(self):
+        buffer = ClientBuffer(rate=10.0)
+        buffer.deliver_many([0.0, 0.01])
+        buffer.set_rate(20.0)
+        buffer.deliver_many([0.02, 0.03])
+        assert buffer.delivered == 4

@@ -93,3 +93,28 @@ class TestQueueDelayEstimator:
     def test_negative_delay_rejected(self):
         with pytest.raises(ValueError):
             QueueDelayEstimator().observe_delay(-0.1)
+
+    def test_ndarray_bulk_bit_identical_to_sequential(self):
+        # The vectorised decode plane hands footprint observations to
+        # the estimator as numpy arrays; the array fold must leave the
+        # same bits as per-sample observe calls (same contract as the
+        # list path above).
+        import random
+
+        import numpy as np
+
+        rng = random.Random(11)
+        for window in (3, 64, 200):
+            values = [rng.uniform(1.0, 4096.0) for _ in range(300)]
+            sequential = SlidingWindowMean(window)
+            for value in values:
+                sequential.observe(value)
+            bulk = SlidingWindowMean(window)
+            i = 0
+            while i < len(values):
+                step = rng.randint(1, 97)
+                bulk.observe_bulk(np.asarray(values[i:i + step]))
+                i += step
+            assert bulk._sum == sequential._sum
+            assert list(bulk._values) == list(sequential._values)
+            assert bulk.mean() == sequential.mean()

@@ -103,3 +103,48 @@ class TestQoSScore:
     def test_zero_time_rejected(self):
         with pytest.raises(ValueError):
             qos_score([1.0], total_time=0.0)
+
+
+class TestFoldHistMetrics:
+    def test_matches_standalone_folds(self):
+        from repro.core.qos import (
+            effective_token_count_hist,
+            fold_hist_metrics,
+            request_qos_terms_hist,
+        )
+
+        params = QoSParams()
+        hist = {0: 12, 3: 4, 17: 9, 40: 2, 90: 1}
+        effective, utility = fold_hist_metrics(hist, 100, params)
+        assert effective == effective_token_count_hist(hist, 100)
+        assert utility == request_qos_terms_hist(hist, 100, 0.0, 0.0, params)
+
+    def test_array_fold_bit_identical_to_loop(self, monkeypatch):
+        # Histograms at least _FOLD_VECTOR_MIN buckets long take a
+        # numpy fold; its cumsum accumulation must replay the scalar
+        # loop's left-to-right additions bit-for-bit.
+        import random
+
+        from repro.core import qos as qos_module
+
+        rng = random.Random(3)
+        params = QoSParams()
+        for _ in range(50):
+            n = rng.randint(64, 400)
+            hist = {b: rng.randint(1, 9) for b in
+                    rng.sample(range(2000), n)}
+            output_len = rng.randint(1, 600)
+            vec = qos_module.fold_hist_metrics(hist, output_len, params)
+            monkeypatch.setattr(qos_module, "_FOLD_VECTOR_MIN", 10**9)
+            scalar = qos_module.fold_hist_metrics(hist, output_len, params)
+            monkeypatch.undo()
+            assert vec == scalar
+
+    def test_validation(self):
+        from repro.core.qos import fold_hist_metrics
+
+        with pytest.raises(ValueError):
+            fold_hist_metrics({0: 1}, 0, QoSParams())
+        with pytest.raises(ValueError):
+            fold_hist_metrics({0: 1}, 10, QoSParams(),
+                              tau1_frac=0.3, tau2_frac=0.2)

@@ -80,6 +80,35 @@ def test_bare_rss_within_soft_guard():
     )
 
 
+def test_history_rows_well_formed():
+    payload = json.loads(BENCH_PATH.read_text())
+    history = payload.get("history", [])
+    assert history, "artifact carries no per-PR history rows"
+    for row in history:
+        assert row["total_calls"] > 0
+        assert row["wall_s"] > 0
+        assert row["calls_speedup"] > 0
+        assert "notes" in row
+
+
+def test_call_ratio_not_regressed_vs_any_history_row():
+    """The current recorded speedup must stay within the allowed band
+    of the best *any* prior PR achieved — a slide hidden by several
+    small steps still fails once it exceeds the band cumulatively."""
+    payload = json.loads(BENCH_PATH.read_text())
+    history = payload.get("history", [])
+    assert history
+    best = max(row["calls_speedup"] for row in history)
+    current = payload["speedup"]["calls"]
+    floor = (1.0 - ALLOWED_REGRESSION) * best
+    assert current >= floor, (
+        f"call-count speedup {current:.2f}x fell below {floor:.2f}x, the "
+        f"{ALLOWED_REGRESSION:.0%} band under the best history row "
+        f"({best:.2f}x). If intentional, update the artifact's history "
+        f"and best.calls and justify it in the PR."
+    )
+
+
 def test_best_is_monotone_upper_bound():
     payload = json.loads(BENCH_PATH.read_text())
     best = payload.get("best", {}).get("calls", 0.0)

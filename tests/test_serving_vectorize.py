@@ -1,0 +1,172 @@
+"""Fast-lane parity tests for the vectorised batch plane.
+
+The vectorised decode core (``vectorize_decode=True``, the default)
+must reproduce the scalar per-request delivery path: every RunReport
+metric to rel 1e-9 and the utilisation timeline exactly.  This module
+is the CI fast lane's subset — a handful of registry cells covering
+memory pressure, consumer heterogeneity, clustering, and session
+callbacks; the exhaustive sweep lives in ``test_property_vectorize.py``
+(slow lane).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.tracker import RequestTracker
+from repro.scenarios import build_run, get_scenario
+from repro.serving.batchstate import deliver_batch
+
+SINGLE_NODE_METRICS = (
+    "n_requests", "n_finished", "makespan", "total_tokens", "throughput",
+    "effective_tokens", "effective_throughput", "qos", "ttft_mean",
+    "ttft_p50", "ttft_p99", "stall_total", "stall_mean", "preemptions",
+)
+CLUSTER_METRICS = (
+    "n_requests", "n_finished", "total_tokens", "throughput",
+    "effective_throughput", "qos", "ttft_mean", "ttft_p50", "ttft_p99",
+    "stall_total", "preemptions",
+)
+
+# One cell per workload family, scaled for the fast lane: Table 1
+# burst cells on both hardware targets, a multi-replica cluster
+# (routing + per-node vectorisation), and multi-turn sessions (finish
+# callbacks fire mid-run).
+FAST_PARITY_SCENARIOS = [
+    ("table1-h200-a", 0.10),
+    ("table1-rtx4090-c", 0.25),
+    ("cluster-burst-4x", 0.25),
+    ("bursty-sessions", 0.25),
+]
+
+
+def _execute(spec):
+    run = build_run(spec)
+    return run.target, run.execute()
+
+
+@pytest.mark.parametrize("name,scale", FAST_PARITY_SCENARIOS)
+def test_fast_parity(name, scale):
+    spec_on = get_scenario(name, scale=scale, seed=0)
+    spec_off = spec_on.with_overrides(vectorize_decode=False)
+    _, report_off = _execute(spec_off)
+    _, report_on = _execute(spec_on)
+    keys = CLUSTER_METRICS if spec_on.replicas > 1 else SINGLE_NODE_METRICS
+    for key in keys:
+        off, on = getattr(report_off, key), getattr(report_on, key)
+        assert on == pytest.approx(off, rel=1e-9, abs=1e-9), (name, key)
+    if spec_on.replicas == 1:
+        assert report_on.timeline == report_off.timeline
+        s_off, s_on = report_off.executor_stats, report_on.executor_stats
+        for key in ("prefill_iterations", "decode_iterations",
+                    "prefill_tokens", "decode_tokens", "fused_windows"):
+            assert s_on[key] == s_off[key], (name, key)
+
+
+def test_default_is_vectorized():
+    spec = get_scenario("table1-h200-a", scale=0.1)
+    assert spec.vectorize_decode is True
+    run = build_run(spec)
+    assert run.target.config.vectorize_decode is True
+
+
+def test_vectorize_off_is_scalar_path():
+    """``vectorize_decode=False`` runs today's scalar machinery:
+    identical reports on repeat runs and no bulk PCIe accounting."""
+    spec = get_scenario("table1-h200-a", scale=0.1,
+                        vectorize_decode=False)
+    run = build_run(spec)
+    assert run.target.config.vectorize_decode is False
+    assert run.target.kv.bulk_pcie_accounting is False
+    report_a = run.execute()
+    report_b = build_run(spec).execute()
+    assert dataclasses.asdict(
+        dataclasses.replace(report_a, stream_stats=None)
+    ) == dataclasses.asdict(dataclasses.replace(report_b, stream_stats=None))
+
+
+class TestDeliverBatchEdges:
+    """deliver_batch degenerate shapes, checked against the scalar
+    tracker path on identical twins."""
+
+    def _tracked(self, rates):
+        # record_traces=False: per-token traces force the scalar
+        # fallback row-by-row; the kernel requires compact buffers.
+        tracker = RequestTracker(record_traces=False)
+        from repro.workload.request import Request
+        requests = []
+        for i, rate in enumerate(rates):
+            request = Request(req_id=i, arrival_time=0.0, prompt_len=4,
+                              output_len=64, rate=rate)
+            tracker.register(request)
+            requests.append(request)
+        return tracker, requests
+
+    def test_empty_times_is_noop(self):
+        tracker, requests = self._tracked([10.0, 20.0])
+        deliver_batch(tracker, requests, [])
+        for request in requests:
+            assert request.generated == 0
+            assert tracker.get(request.req_id).buffer.delivered == 0
+
+    def test_empty_requests_is_noop(self):
+        tracker, _ = self._tracked([10.0])
+        deliver_batch(tracker, [], [1.0, 2.0])
+
+    @pytest.mark.parametrize("times", [[0.5], [0.5, 0.7, 1.4]])
+    def test_matches_scalar_deliver_tokens(self, times):
+        rates = [5.0, 10.0, 40.0]
+        tracker_v, requests_v = self._tracked(rates)
+        tracker_s, requests_s = self._tracked(rates)
+        # A warm-up token puts every buffer on the fast path
+        # (_last_consume set); a second round exercises carried state.
+        for tracker, requests in ((tracker_v, requests_v),
+                                  (tracker_s, requests_s)):
+            for request in requests:
+                tracker.deliver_tokens(request.req_id, [0.1])
+        deliver_batch(tracker_v, requests_v, times)
+        for request in requests_s:
+            tracker_s.deliver_tokens(request.req_id, times)
+        later = [t + times[-1] for t in times]
+        deliver_batch(tracker_v, requests_v, later)
+        for request in requests_s:
+            tracker_s.deliver_tokens(request.req_id, later)
+        for request_v, request_s in zip(requests_v, requests_s):
+            assert request_v.generated == request_s.generated
+            assert request_v.token_times == request_s.token_times
+            buf_v = tracker_v.get(request_v.req_id).buffer
+            buf_s = tracker_s.get(request_s.req_id).buffer
+            assert buf_v.occupancy_histogram == buf_s.occupancy_histogram
+            assert buf_v.stall_time == buf_s.stall_time
+            assert buf_v.delivered == buf_s.delivered
+            assert (buf_v.final_consumption_time()
+                    == buf_s.final_consumption_time())
+            for probe in (0.2, times[-1], 2 * times[-1], 100.0):
+                assert buf_v.occupancy(probe) == buf_s.occupancy(probe)
+
+    def test_decreasing_times_raise_via_scalar_fallback(self):
+        tracker, requests = self._tracked([10.0])
+        tracker.deliver_tokens(requests[0].req_id, [0.1])
+        with pytest.raises(ValueError):
+            deliver_batch(tracker, requests, [0.5, 0.4])
+
+    def test_equal_times_route_to_scalar_and_succeed(self):
+        # Ties are legal deliveries (non-decreasing); the kernel
+        # requires strict increase, so it must hand ties to the
+        # scalar path, not reject them.
+        tracker_v, requests_v = self._tracked([10.0])
+        tracker_s, requests_s = self._tracked([10.0])
+        deliver_batch(tracker_v, requests_v, [0.5, 0.5])
+        tracker_s.deliver_tokens(requests_s[0].req_id, [0.5, 0.5])
+        buf_v = tracker_v.get(0).buffer
+        buf_s = tracker_s.get(0).buffer
+        assert requests_v[0].generated == requests_s[0].generated == 2
+        assert buf_v.occupancy_histogram == buf_s.occupancy_histogram
+        assert buf_v.occupancy(1.0) == buf_s.occupancy(1.0)
+
+    def test_overflow_raises_before_mutation(self):
+        tracker, requests = self._tracked([10.0])
+        request = requests[0]
+        request.generated = request.output_len - 1
+        with pytest.raises(RuntimeError):
+            deliver_batch(tracker, requests, [0.1, 0.2])
