@@ -1,0 +1,145 @@
+"""Shard-scaling harness for the sharded cluster simulation.
+
+Runs the 64-replica ``cluster-soak-64x`` scenario once on the classic
+shared-engine cluster and once per shard count K ∈ {1, 2, 4} on
+:class:`~repro.serving.shard.ShardedServingCluster` (process
+transport, warm worker pool), asserting
+
+* **parity** — every sharded run reproduces the classic ClusterReport
+  bit-for-bit (the NaN-tolerant deep fingerprint from the sharding
+  test suite), and
+* **overhead** — the best sharded wall clock stays within
+  ``MAX_OVERHEAD`` of the single-process baseline.  This container
+  has one CPU, so sharding cannot win by parallelism; the gate bounds
+  what the coordination protocol (ladder messages, pickling, queue
+  round-trips) costs.
+
+Emits ``benchmarks/BENCH_shard.json`` so the trajectory guard in
+``tests/test_perf_trajectory.py`` can watch the committed figure.
+
+Run just this harness with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_shard_scaling.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from benchmarks.conftest import emit
+from repro.orchestration.pool import get_pool
+from repro.scenarios.build import build_run
+from repro.scenarios.registry import CLUSTER_SOAK_REPLICAS, get_scenario
+from repro.serving.shard import ShardedServingCluster
+
+from tests.test_serving_sharding import deep_fp
+
+SCENARIO = "cluster-soak-64x"
+SCALE = 0.25
+SEED = 0
+SHARD_COUNTS = (1, 2, 4)
+
+# Coordination-overhead ceiling: best sharded wall / classic wall.
+# The ISSUE's acceptance gate is <= 1.15 on this 1-CPU container; the
+# measured figure here is *below* 1.0 (splitting one 64-replica event
+# heap into K small ones more than pays for the round_robin ladder
+# messages), so 1.15 leaves honest noise headroom.
+MAX_OVERHEAD = 1.15
+
+BENCH_PATH = Path(__file__).resolve().parent / "BENCH_shard.json"
+
+
+def _timed_run(shards=None):
+    """Execute one soak run; ``shards=None`` is the classic baseline.
+
+    ``build_run`` only builds a sharded target for ``spec.shards > 1``,
+    so K=1 (the pure-protocol-overhead point) is rebuilt from the K=2
+    target's own configs and picklable scheduler recipe.
+    """
+    spec = get_scenario(
+        SCENARIO, scale=SCALE, seed=SEED,
+        shards=1 if shards is None else max(shards, 2),
+    )
+    run = build_run(spec)
+    if shards is not None:
+        run.target = ShardedServingCluster(
+            run.target.configs, run.target.scheduler_factory,
+            router=spec.router, shards=shards, transport="process",
+        )
+    t0 = time.perf_counter()
+    report = run.execute()
+    wall = time.perf_counter() - t0
+    return run.target, report, wall
+
+
+def test_shard_scaling_soak64():
+    # Warm the shared worker pool so cold fork/import cost does not
+    # land inside any timed region (matrix cells amortise it the same
+    # way via orchestration.pool).
+    pool = get_pool(min_workers=max(SHARD_COUNTS))
+    list(pool.map(abs, range(2 * max(SHARD_COUNTS))))
+
+    classic_target, classic_report, classic_wall = _timed_run()
+    baseline_fp = deep_fp(classic_target, classic_report)
+    n_requests = classic_report.n_requests
+
+    rows = []
+    for shards in SHARD_COUNTS:
+        target, report, wall = _timed_run(shards)
+        assert deep_fp(target, report) == baseline_fp, (
+            f"sharded K={shards} run diverged from the classic report"
+        )
+        rows.append({
+            "shards": shards,
+            "wall_s": round(wall, 4),
+            "overhead": round(wall / classic_wall, 4),
+            "coordination_rounds": target.coordination_rounds,
+            "messages_sent": target.messages_sent,
+            "shard_events": target.shard_events,
+        })
+
+    best = min(rows, key=lambda row: row["wall_s"])
+    payload = {
+        "workload": {
+            "scenario": SCENARIO,
+            "scale": SCALE,
+            "seed": SEED,
+            "replicas": CLUSTER_SOAK_REPLICAS,
+            "n_requests": n_requests,
+        },
+        "baseline": {"wall_s": round(classic_wall, 4)},
+        "shards": rows,
+        "best": {"shards": best["shards"], "overhead": best["overhead"]},
+        "gate": f"best sharded wall <= {MAX_OVERHEAD}x classic wall",
+        "notes": (
+            "process transport, warm pool, round_robin ladder; parity "
+            "asserted bit-identical against the classic cluster"
+        ),
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        f"shard scaling — {SCENARIO} scale={SCALE} "
+        f"({CLUSTER_SOAK_REPLICAS} replicas, {n_requests} requests)",
+        f"  classic: {classic_wall:.2f}s",
+    ]
+    for row in rows:
+        lines.append(
+            f"  K={row['shards']}: {row['wall_s']:.2f}s "
+            f"({row['overhead']:.2f}x) rounds={row['coordination_rounds']} "
+            f"msgs={row['messages_sent']} events={row['shard_events']}"
+        )
+    lines.append(f"  artifact -> {BENCH_PATH.name}")
+    emit("\n".join(lines))
+
+    # Wall-clock gates are skippable on loaded/foreign machines; the
+    # artifact above still records what this run measured.
+    if os.environ.get("REPRO_PERF_NO_WALL_GATE", "") != "1":
+        assert best["overhead"] <= MAX_OVERHEAD, (
+            f"sharded coordination overhead {best['overhead']:.2f}x exceeds "
+            f"the {MAX_OVERHEAD}x gate (classic {classic_wall:.2f}s, best "
+            f"sharded {best['wall_s']:.2f}s at K={best['shards']})"
+        )

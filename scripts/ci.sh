@@ -46,6 +46,12 @@ if [[ "$FAST" -eq 1 ]]; then
     python -m repro.cli matrix table1-rtx4090-a \
       --jobs 2 --scale 0.1 --seeds 0 --no-cache || rc=$?
   fi
+  if [[ "$rc" -eq 0 ]]; then
+    # Sharded-cluster smoke: one cluster scenario split across 2 shard
+    # worker processes, so a broken shard transport/protocol fails fast.
+    echo "== fast lane: repro run --shards 2 smoke =="
+    python -m repro.cli run cluster-burst-4x --shards 2 --scale 0.1 || rc=$?
+  fi
 else
   echo "== tier-1: full suite (tests/ + benchmarks/, incl. perf smoke) =="
   python -m pytest -x -q || rc=$?

@@ -194,7 +194,11 @@ def _render_scenario_report(spec, run, report) -> str:
     """One table for a scenario run (cluster gets per-node rows)."""
     headers = RunReport.summary_headers() + ["stall(s)", "preempts"]
     if run.is_cluster:
-        title = (f"{spec.name} · {spec.replicas} replicas · "
+        shard_note = (
+            f" · {run.target.shards} shards"
+            if getattr(run.target, "shards", 1) > 1 else ""
+        )
+        title = (f"{spec.name} · {spec.replicas} replicas{shard_note} · "
                  f"router={run.target.router.name} · seed={spec.seed}")
         rows = [
             ["cluster",
@@ -238,6 +242,7 @@ def _report_json_payload(spec, run, report) -> dict:
             "scale": spec.scale,
             "seed": spec.seed,
             "replicas": spec.replicas,
+            "shards": spec.shards,
             "streaming_telemetry": not spec.retain_per_request,
         },
     }
@@ -264,6 +269,8 @@ def cmd_run(args) -> int:
         overrides["router"] = args.router
     if args.system is not None:
         overrides["system"] = args.system
+    if args.shards is not None:
+        overrides["shards"] = args.shards
     if args.horizon is not None:
         overrides["horizon"] = args.horizon
     try:
@@ -296,6 +303,7 @@ def cmd_matrix(args) -> int:
             replicas=args.replicas,
             seeds=args.seeds,
             systems=args.systems,
+            shards=args.shards,
             scale=args.scale,
         )
     except (KeyError, ValueError) as exc:
@@ -417,6 +425,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override the cluster routing policy")
     run_p.add_argument("--system", default=None,
                        help="override the evaluated system/scheduler")
+    run_p.add_argument("--shards", type=int, default=None,
+                       help="shard worker processes for cluster runs "
+                            "(>1 partitions the replicas across shard "
+                            "processes; reports stay bit-identical, "
+                            "1 keeps the single-process path)")
     run_p.add_argument("--horizon", type=float, default=None,
                        help="override the simulation safety horizon (s)")
     run_p.add_argument("--stream", action="store_true",
@@ -451,6 +464,10 @@ def build_parser() -> argparse.ArgumentParser:
     matrix_p.add_argument("--systems", nargs="+", default=None,
                           help="system/scheduler axis (default: scenario "
                                "defaults)")
+    matrix_p.add_argument("--shards", type=int, nargs="+", default=None,
+                          help="shard-count axis for cluster cells "
+                               "(default: scenario defaults, i.e. "
+                               "single-process)")
     matrix_p.add_argument("--scale", type=float, default=0.25,
                           help="workload scale factor (default 0.25)")
     matrix_p.add_argument("--timeout", type=float, default=None,

@@ -7,6 +7,7 @@ defined, so every experiment builds identical systems.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.baselines import (
@@ -45,6 +46,27 @@ def make_scheduler(name: str, tokenflow_params: Optional[TokenFlowParams] = None
     if name.startswith("tokenflow"):
         return TokenFlowScheduler(tokenflow_params)
     raise KeyError(f"unknown system {name!r}; known: {SYSTEM_NAMES + ABLATION_NAMES[1:]}")
+
+
+@dataclass(frozen=True)
+class SchedulerRecipe:
+    """Picklable scheduler factory for a named system.
+
+    Cluster builds need a *factory* (each instance gets its own
+    scheduler), and the sharded cluster needs that factory to cross a
+    process boundary — a closure over the spec cannot.  Calling the
+    recipe is exactly the classic cluster factory: instantiate the
+    system's scheduler and stamp the experiment's system name on it
+    (ablation variants share the TokenFlow scheduler class).
+    """
+
+    system: str
+    tokenflow_params: Optional[TokenFlowParams] = None
+
+    def __call__(self) -> BaseScheduler:
+        scheduler = make_scheduler(self.system, self.tokenflow_params)
+        scheduler.name = self.system
+        return scheduler
 
 
 def make_kv_config(name: str, block_size: int = 16) -> KVManagerConfig:

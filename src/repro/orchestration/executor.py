@@ -3,8 +3,12 @@
 ``run_matrix`` expands a :class:`~repro.orchestration.matrix.MatrixSpec`
 (or takes an explicit cell list), skips cells whose ``(spec-hash,
 code-version)`` key is already in the result cache, and executes the
-rest — serially for ``jobs == 1``, else on a
-:class:`concurrent.futures.ProcessPoolExecutor`.
+rest — serially for ``jobs == 1``, else across worker processes.
+Deadline-free parallel runs reuse the shared warm pool from
+:mod:`repro.orchestration.pool` (no per-call pool spin-up; the same
+pool serves sharded-cluster runs); runs with ``timeout_s`` keep a
+dedicated :class:`concurrent.futures.ProcessPoolExecutor`, because
+enforcing a deadline can end with the pool's workers terminated.
 
 Determinism contract (tested in ``tests/test_orchestration.py``):
 
@@ -131,7 +135,16 @@ def run_matrix(
         for idx in misses:
             results[idx] = _run_serial(cells[idx], retries)
     elif misses:
-        _run_parallel(cells, misses, results, jobs, timeout_s, retries)
+        if timeout_s is None:
+            # No deadline to enforce: run on the shared warm pool
+            # (repro.orchestration.pool) instead of paying a pool
+            # spin-up per matrix call.  Deadline runs keep their own
+            # dedicated pool below — enforcing a timeout can require
+            # terminating the workers, which must never take the warm
+            # pool down with it.
+            _run_parallel_warm(cells, misses, results, jobs, retries)
+        else:
+            _run_parallel(cells, misses, results, jobs, timeout_s, retries)
 
     if store is not None:
         for idx in misses:
@@ -169,6 +182,86 @@ def _run_serial(cell: Cell, retries: int) -> CellResult:
         )
 
 
+def _run_parallel_warm(
+    cells: list,
+    misses: list,
+    results: dict,
+    jobs: int,
+    retries: int,
+) -> None:
+    """Deadline-free parallel execution on the shared warm pool.
+
+    The warm pool may be *larger* than ``jobs`` (sharded-cluster runs
+    grow it), so submission is throttled to at most ``jobs`` cells in
+    flight — the concurrency contract of ``run_matrix`` does not
+    depend on pool size.  A broken pool (a worker died mid-cell) is
+    retired via :func:`~repro.orchestration.pool.reset_pool` and the
+    attempt retried once on a fresh pool before counting against
+    ``retries``-style bookkeeping, so one dead worker costs one
+    attempt, not the whole matrix.
+    """
+    from concurrent.futures import BrokenExecutor
+
+    from repro.orchestration.pool import get_pool, reset_pool
+
+    pool = get_pool(min_workers=jobs)
+    pending = list(misses)  # not yet submitted, expansion order
+    inflight: dict = {}     # future -> [cell index, attempt, submit time]
+
+    def submit(idx: int, attempt: int) -> bool:
+        """Queue an attempt; one fresh-pool retry if the pool is broken."""
+        nonlocal pool
+        for retried in (False, True):
+            try:
+                inflight[pool.submit(_execute_cell, cells[idx])] = [
+                    idx, attempt, time.monotonic()
+                ]
+                return True
+            except (BrokenExecutor, RuntimeError):
+                if retried:
+                    return False
+                reset_pool()
+                pool = get_pool(min_workers=jobs)
+        return False
+
+    def record_error(idx: int, attempt: int, started: float,
+                     message: str) -> None:
+        results[idx] = CellResult(
+            cell_id=cells[idx].cell_id, status=STATUS_ERROR,
+            error=message, attempts=attempt,
+            duration_s=time.monotonic() - started,
+        )
+
+    while pending or inflight:
+        while pending and len(inflight) < jobs:
+            idx = pending.pop(0)
+            if not submit(idx, 1):
+                record_error(idx, 1, time.monotonic(),
+                             "could not submit to worker pool")
+        if not inflight:
+            continue
+        done, _ = wait(set(inflight), return_when=FIRST_COMPLETED)
+        for future in done:
+            idx, attempt, t_submit = inflight.pop(future)
+            try:
+                report, duration = future.result()
+            except Exception as exc:
+                message = f"{type(exc).__name__}: {exc}"
+                if isinstance(exc, BrokenExecutor):
+                    # The shared pool is unusable for everyone now;
+                    # retire it so this loop (and later callers) fork
+                    # a fresh one instead of inheriting the corpse.
+                    reset_pool()
+                    pool = get_pool(min_workers=jobs)
+                if attempt > retries or not submit(idx, attempt + 1):
+                    record_error(idx, attempt, t_submit, message)
+            else:
+                results[idx] = CellResult(
+                    cell_id=cells[idx].cell_id, status=STATUS_OK,
+                    report=report, attempts=attempt, duration_s=duration,
+                )
+
+
 def _run_parallel(
     cells: list,
     misses: list,
@@ -177,7 +270,8 @@ def _run_parallel(
     timeout_s: Optional[float],
     retries: int,
 ) -> None:
-    """Fill ``results`` for ``misses`` using a process pool."""
+    """Fill ``results`` for ``misses`` using a dedicated process pool
+    (deadline enforcement may terminate its workers)."""
     from concurrent.futures import BrokenExecutor
 
     pool = ProcessPoolExecutor(max_workers=jobs)

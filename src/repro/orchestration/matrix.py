@@ -65,6 +65,7 @@ class MatrixCell:
     router: Optional[str] = None
     replicas: Optional[int] = None
     system: Optional[str] = None
+    shards: Optional[int] = None
 
     @property
     def cell_id(self) -> str:
@@ -76,6 +77,8 @@ class MatrixCell:
             parts.append(f"router={self.router}")
         if self.replicas is not None:
             parts.append(f"replicas={self.replicas}")
+        if self.shards is not None:
+            parts.append(f"shards={self.shards}")
         parts.append(f"seed={self.seed}")
         if self.scale != 1.0:
             parts.append(f"scale={self.scale:g}")
@@ -89,6 +92,8 @@ class MatrixCell:
             out["replicas"] = self.replicas
         if self.system is not None:
             out["system"] = self.system
+        if self.shards is not None:
+            out["shards"] = self.shards
         return out
 
     def resolve(self) -> ScenarioSpec:
@@ -138,7 +143,7 @@ Cell = Union[MatrixCell, InlineCell]
 
 @dataclass(frozen=True)
 class MatrixSpec:
-    """A scenarios × routers × replicas × seeds matrix.
+    """A scenarios × routers × replicas × shards × seeds matrix.
 
     Axis values of ``None`` (inside ``routers`` / ``replicas`` /
     ``systems``) keep each scenario's registered default.  ``expand``
@@ -151,12 +156,13 @@ class MatrixSpec:
     replicas: Tuple[Optional[int], ...] = (None,)
     seeds: Tuple[int, ...] = (0,)
     systems: Tuple[Optional[str], ...] = (None,)
+    shards: Tuple[Optional[int], ...] = (None,)
     scale: float = 1.0
 
     def __post_init__(self) -> None:
         if not self.scenarios:
             raise ValueError("matrix needs at least one scenario")
-        for axis in ("routers", "replicas", "seeds", "systems"):
+        for axis in ("routers", "replicas", "seeds", "systems", "shards"):
             if not getattr(self, axis):
                 raise ValueError(f"matrix axis {axis!r} must be non-empty")
         if self.scale <= 0:
@@ -175,6 +181,9 @@ class MatrixSpec:
                 raise ValueError(
                     f"replicas must be positive, got {n_replicas}"
                 )
+        for n_shards in self.shards:
+            if n_shards is not None and n_shards <= 0:
+                raise ValueError(f"shards must be positive, got {n_shards}")
         for seed in self.seeds:
             if seed < 0:
                 raise ValueError(f"seeds must be non-negative, got {seed}")
@@ -199,6 +208,7 @@ class MatrixSpec:
         replicas: Optional[Sequence[int]] = None,
         seeds: Optional[Sequence[int]] = None,
         systems: Optional[Sequence[str]] = None,
+        shards: Optional[Sequence[int]] = None,
         scale: float = 1.0,
     ) -> "MatrixSpec":
         """Build from CLI-style axis lists (None = default axis)."""
@@ -208,13 +218,14 @@ class MatrixSpec:
             replicas=tuple(int(n) for n in replicas) if replicas else (None,),
             seeds=tuple(int(s) for s in seeds) if seeds else (0,),
             systems=tuple(systems) if systems else (None,),
+            shards=tuple(int(k) for k in shards) if shards else (None,),
             scale=scale,
         )
 
     @property
     def n_cells(self) -> int:
         return (len(self.scenarios) * len(self.systems) * len(self.routers)
-                * len(self.replicas) * len(self.seeds))
+                * len(self.replicas) * len(self.shards) * len(self.seeds))
 
     def expand(self) -> list:
         """The matrix as a deterministic list of :class:`MatrixCell`."""
@@ -224,12 +235,14 @@ class MatrixSpec:
                 system=system,
                 router=router,
                 replicas=n_replicas,
+                shards=n_shards,
                 seed=seed,
                 scale=self.scale,
             )
-            for scenario, system, router, n_replicas, seed in itertools.product(
+            for scenario, system, router, n_replicas, n_shards, seed
+            in itertools.product(
                 self.scenarios, self.systems, self.routers,
-                self.replicas, self.seeds,
+                self.replicas, self.shards, self.seeds,
             )
         ]
 

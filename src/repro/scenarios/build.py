@@ -45,7 +45,9 @@ class ScenarioRun:
 
     @property
     def is_cluster(self) -> bool:
-        return isinstance(self.target, ServingCluster)
+        from repro.serving.shard import ShardedServingCluster
+
+        return isinstance(self.target, (ServingCluster, ShardedServingCluster))
 
     def execute(self, streamed: Optional[bool] = None) -> Union[RunReport, ClusterReport]:
         """Run the workload, drain the engine, and report.
@@ -115,9 +117,9 @@ def build_run(spec: ScenarioSpec, requests: Optional[list] = None) -> ScenarioRu
     # __init__) itself routes through this module, and Python cannot
     # resolve that cycle at import time.
     from repro.experiments.systems import (
+        SchedulerRecipe,
         build_system,
         make_kv_config,
-        make_scheduler,
     )
 
     if requests is None and not spec.is_stream_native:
@@ -155,17 +157,23 @@ def build_run(spec: ScenarioSpec, requests: Optional[list] = None) -> ScenarioRu
         for _ in range(spec.replicas)
     ]
 
-    def scheduler_factory():
-        scheduler = make_scheduler(spec.system, spec.tokenflow_params)
-        # Label reports with the experiment's system name (ablation
-        # variants share the TokenFlow scheduler class).
-        scheduler.name = spec.system
-        return scheduler
+    # A picklable factory (not a closure): the sharded cluster ships
+    # it to worker processes, and the classic cluster calls it the
+    # same way — each instance gets a fresh scheduler stamped with the
+    # experiment's system name.
+    scheduler_factory = SchedulerRecipe(spec.system, spec.tokenflow_params)
 
     # Router names resolve to a fresh instance inside the cluster; a
     # Router *instance* on the spec is copied so its state (stripe
     # counters, sticky session maps) never leaks between runs of the
     # same spec — repeated builds stay independent and deterministic.
     router = spec.router if isinstance(spec.router, str) else copy.deepcopy(spec.router)
+    if spec.shards > 1:
+        from repro.serving.shard import ShardedServingCluster
+
+        cluster = ShardedServingCluster(
+            configs, scheduler_factory, router=router, shards=spec.shards
+        )
+        return ScenarioRun(spec=spec, target=cluster, requests=requests)
     cluster = ServingCluster(configs, scheduler_factory, router=router)
     return ScenarioRun(spec=spec, target=cluster, requests=requests)

@@ -22,6 +22,9 @@ Registered families:
   on the streaming plane: stream-native workloads (no materialised
   request list) with streaming telemetry, scale-parameterised from a
   quick smoke up to ~10⁶ requests at O(active) memory.
+* ``cluster-soak-64x`` — soak-scale load across a 64-replica
+  round_robin cluster; the sharded-cluster benchmark workload
+  (``--shards K`` partitions the replicas across worker processes).
 """
 
 from __future__ import annotations
@@ -380,5 +383,61 @@ def _soak_diurnal(scale: float = 1.0, seed: int = 0) -> ScenarioSpec:
         seed=seed,
         horizon=n / (_SOAK_ARRIVAL_RATE * 0.8) * 2.0 + 10_000.0,
         workload_stream=_soak_diurnal_stream,
+        retain_per_request=False,
+    )
+
+
+# --- sharded-cluster soak -----------------------------------------------------
+# A cluster-scale endurance run: 64 replicas behind round_robin at the
+# same ~70%-capacity per-replica Poisson load as soak-steady (cluster
+# arrival rate = replicas × the single-node soak rate, striped evenly).
+# Stream-native with streaming telemetry, so memory stays O(active)
+# per replica.  This is the shard-scaling benchmark's workload
+# (benchmarks/test_shard_scaling.py runs it at --shards 1/2/4); the
+# registered spec keeps shards=1 so ordinary sweeps stay single-process.
+CLUSTER_SOAK_REPLICAS = 64
+_CLUSTER_SOAK_BASE_REQUESTS = 6_400   # 100 requests per replica at scale=1
+_CLUSTER_SOAK_RATE = _SOAK_ARRIVAL_RATE * CLUSTER_SOAK_REPLICAS
+
+
+def _cluster_soak_requests(scale: float) -> int:
+    return max(64, int(_CLUSTER_SOAK_BASE_REQUESTS * scale))
+
+
+def _cluster_soak_stream(spec: ScenarioSpec) -> Iterator[Request]:
+    n = _cluster_soak_requests(spec.scale)
+    wl = WorkloadSpec(
+        arrival="poisson",
+        n_requests=n,
+        poisson_rate=_CLUSTER_SOAK_RATE,
+        duration=n / _CLUSTER_SOAK_RATE * 1.5 + 120.0,
+        lengths=_soak_lengths(),
+        rates=RateMixture.fixed(_SOAK_CONSUME_RATE),
+    )
+    return WorkloadBuilder(wl, RngStreams(spec.seed)).stream()
+
+
+@register_scenario(
+    "cluster-soak-64x",
+    "64-replica round_robin cluster soak (scale=1 ≈ 6.4k requests); "
+    "the shard-scaling benchmark workload — run with --shards K for "
+    "parallel replica simulation",
+)
+def _cluster_soak_64x(scale: float = 1.0, seed: int = 0) -> ScenarioSpec:
+    n = _cluster_soak_requests(scale)
+    return ScenarioSpec(
+        name="cluster-soak-64x",
+        description="sharded-cluster endurance run across 64 replicas",
+        system="tokenflow",
+        hardware="h200",
+        model="llama3-8b",
+        mem_frac=0.05,
+        max_batch=64,
+        replicas=CLUSTER_SOAK_REPLICAS,
+        router="round_robin",
+        scale=scale,
+        seed=seed,
+        horizon=n / _CLUSTER_SOAK_RATE * 1.5 + 10_000.0,
+        workload_stream=_cluster_soak_stream,
         retain_per_request=False,
     )

@@ -35,6 +35,10 @@ class ScenarioSpec:
             :class:`~repro.serving.cluster.ServingCluster`.
         router: cluster routing policy name (or Router instance) —
             ignored when ``replicas == 1``.
+        shards: shard worker processes for cluster runs; >1 builds a
+            :class:`~repro.serving.shard.ShardedServingCluster`
+            (bit-identical reports, parallel replica simulation).
+            Clamped to ``replicas``; ignored when ``replicas == 1``.
         seed: root RNG seed for the workload.
         scale: workload scale factor (scenario builders shrink crowd
             sizes / horizons proportionally, like the experiments).
@@ -73,6 +77,7 @@ class ScenarioSpec:
     block_size: int = 16
     replicas: int = 1
     router: Union[str, Router] = "least_loaded"
+    shards: int = 1
     seed: int = 0
     scale: float = 1.0
     horizon: float = 50_000.0
@@ -87,6 +92,8 @@ class ScenarioSpec:
     def __post_init__(self) -> None:
         if self.replicas <= 0:
             raise ValueError(f"replicas must be positive, got {self.replicas}")
+        if self.shards <= 0:
+            raise ValueError(f"shards must be positive, got {self.shards}")
         if self.scale <= 0:
             raise ValueError(f"scale must be positive, got {self.scale}")
         if self.horizon <= 0:

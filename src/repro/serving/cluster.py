@@ -22,6 +22,7 @@ deployed LLM routers (e.g. Llumnix-style rebalancing is future work).
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence, Union
 
@@ -30,7 +31,7 @@ from repro.serving.metrics import RunReport, aggregate_reports
 from repro.serving.routers import Router, make_router
 from repro.serving.server import ServingSystem
 from repro.serving.stages import feed_stream_arrivals
-from repro.sim.engine import SimEngine
+from repro.sim.engine import ScopedEngine, SimEngine
 
 # The pre-router dispatch policies, kept as the stable "core" set
 # (``repro.serving.routers.ROUTERS`` is the full registry).
@@ -76,8 +77,23 @@ class ServingCluster:
         self.router = make_router(router if router is not None else dispatch)
         self.dispatch = self.router.name
         self.engine = engine if engine is not None else SimEngine()
+        # Upcoming dispatch instants (arrival times of routed-but-not-
+        # yet-dispatched requests).  Instances see this heap's head as
+        # their *external* decision horizon: an instance's fusion plane
+        # must never advance past the next dispatch, because the router
+        # reads instance state there — but sibling instances' internal
+        # events are NOT horizons, so each instance plans decode
+        # windows against only its own events plus this heap.  That
+        # makes window formation partition-invariant: the same windows
+        # form whether siblings share the process or live in another
+        # shard (serving/shard.py relies on this for bit-identity).
+        self._dispatch_times: list = []
         self.instances = [
-            ServingSystem(config, scheduler_factory(), engine=self.engine)
+            ServingSystem(
+                config,
+                scheduler_factory(),
+                engine=ScopedEngine(self.engine, self._next_dispatch_time),
+            )
             for config in configs
         ]
         self.placements: dict = {}   # req_id -> instance index
@@ -110,6 +126,21 @@ class ServingCluster:
         return cls(configs, scheduler_factory, dispatch=dispatch, router=router)
 
     # --- dispatch -------------------------------------------------------------
+    def _next_dispatch_time(self) -> Optional[float]:
+        """Earliest upcoming dispatch instant (instances' external horizon).
+
+        Entries at or before the clock are spent — their dispatch event
+        has already fired this instant (all dispatches at time *t* run
+        before any instance event at *t*, because instance work at a
+        dispatch time is scheduled *by* the dispatch) — so they are
+        lazily dropped here rather than eagerly in :meth:`_dispatch`.
+        """
+        times = self._dispatch_times
+        now = self.engine.now()
+        while times and times[0] <= now:
+            heapq.heappop(times)
+        return times[0] if times else None
+
     def submit(self, requests: Sequence) -> None:
         """Register arrivals; each is routed at its arrival time."""
         for request in requests:
@@ -118,6 +149,7 @@ class ServingCluster:
                     f"request {request.req_id} arrives in the past"
                 )
             self._pending_dispatch += 1
+            heapq.heappush(self._dispatch_times, request.arrival_time)
             self.engine.call_at(
                 request.arrival_time,
                 lambda r=request: self._dispatch(r),
@@ -134,8 +166,9 @@ class ServingCluster:
         state the materialised :meth:`submit` path sees — streamed and
         submitted cluster runs place identically.
         """
-        def on_pop(_request) -> None:
+        def on_pop(request) -> None:
             self._pending_dispatch += 1
+            heapq.heappush(self._dispatch_times, request.arrival_time)
 
         feed_stream_arrivals(
             self.engine, stream, lookahead, on_pop, self._dispatch, "dispatch"

@@ -24,7 +24,7 @@ index, so identical scenario+seed runs place identically.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Sequence, Type, Union
+from typing import Dict, List, Optional, Sequence, Type, Union
 
 
 class Router(abc.ABC):
@@ -33,13 +33,70 @@ class Router(abc.ABC):
     Routers may keep state (stripe counters, sticky maps); a fresh
     instance is built per run, so repeated runs of one scenario are
     independent and deterministic.
+
+    Policies that can run against a *sharded* cluster — where instances
+    live in other processes — additionally split :meth:`select` into a
+    per-instance measurement (:meth:`instance_metrics`, computed where
+    the instance lives, returning something picklable) and a pure
+    decision over the gathered measurements
+    (:meth:`select_from_metrics`, run on the coordinator).  The
+    built-in policies implement :meth:`select` *via* that split, so the
+    single-process and sharded paths execute the same comparison code
+    on the same float values.  Subclasses that only override
+    :meth:`select` keep working on single-process clusters; they must
+    set :attr:`shardable` to ``True`` (and implement the split) to opt
+    into sharded execution.
     """
 
     name: str = "base"
 
+    #: Whether this policy supports the metrics/selection split that
+    #: sharded execution requires.  Built-in policies set this True.
+    shardable: bool = False
+
     @abc.abstractmethod
     def select(self, instances: Sequence, request) -> int:
         """Return the index in ``instances`` to place ``request`` on."""
+
+    def needs_state(self, request) -> bool:
+        """Whether placing ``request`` requires fresh instance metrics.
+
+        Policies that decide without looking at the instances (stripe
+        counters, sticky-map hits) return ``False``; the sharded
+        coordinator then skips the metric-gathering round entirely —
+        the lever that lets stateless policies batch arbitrarily many
+        dispatches into one shard message.
+        """
+        return True
+
+    def instance_metrics(self, instance, request):
+        """Measure one instance for placing ``request`` (picklable)."""
+        raise NotImplementedError(
+            f"router {self.name!r} does not implement the sharded "
+            f"metrics/selection split"
+        )
+
+    def select_from_metrics(self, n: int, metrics: Optional[List], request) -> int:
+        """Pick an index in ``range(n)`` from gathered ``metrics``.
+
+        ``metrics[i]`` is :meth:`instance_metrics` for instance ``i``
+        (``None`` when :meth:`needs_state` said no state was needed).
+        This is the only place a shardable policy may mutate its own
+        state, so replaying the same dispatch sequence reproduces the
+        same placements regardless of where metrics were computed.
+        """
+        raise NotImplementedError(
+            f"router {self.name!r} does not implement the sharded "
+            f"metrics/selection split"
+        )
+
+    def _select_via_metrics(self, instances: Sequence, request) -> int:
+        """Shared :meth:`select` body for split-capable policies."""
+        if self.needs_state(request):
+            metrics = [self.instance_metrics(inst, request) for inst in instances]
+        else:
+            metrics = None
+        return self.select_from_metrics(len(instances), metrics, request)
 
 
 ROUTERS: Dict[str, Type[Router]] = {}
@@ -67,14 +124,21 @@ class RoundRobinRouter(Router):
     """Arrival-order striping across instances."""
 
     name = "round_robin"
+    shardable = True
 
     def __init__(self) -> None:
         self._next = 0
 
-    def select(self, instances: Sequence, request) -> int:
+    def needs_state(self, request) -> bool:
+        return False
+
+    def select_from_metrics(self, n: int, metrics: Optional[List], request) -> int:
         idx = self._next
-        self._next = (idx + 1) % len(instances)
+        self._next = (idx + 1) % n
         return idx
+
+    def select(self, instances: Sequence, request) -> int:
+        return self._select_via_metrics(instances, request)
 
 
 @register_router
@@ -82,12 +146,16 @@ class LeastLoadedRouter(Router):
     """Fewest unfinished requests (admitted or not)."""
 
     name = "least_loaded"
+    shardable = True
+
+    def instance_metrics(self, instance, request) -> int:
+        return instance.unfinished
+
+    def select_from_metrics(self, n: int, metrics: Optional[List], request) -> int:
+        return min(range(n), key=lambda i: metrics[i])
 
     def select(self, instances: Sequence, request) -> int:
-        return min(
-            range(len(instances)),
-            key=lambda i: instances[i].unfinished,
-        )
+        return self._select_via_metrics(instances, request)
 
 
 @register_router
@@ -95,13 +163,16 @@ class LeastQueuedRouter(Router):
     """Shortest waiting + prefill queue at arrival time."""
 
     name = "least_queued"
+    shardable = True
+
+    def instance_metrics(self, instance, request) -> int:
+        return len(instance.waiting) + len(instance.prefill_queue)
+
+    def select_from_metrics(self, n: int, metrics: Optional[List], request) -> int:
+        return min(range(n), key=lambda i: metrics[i])
 
     def select(self, instances: Sequence, request) -> int:
-        return min(
-            range(len(instances)),
-            key=lambda i: len(instances[i].waiting)
-            + len(instances[i].prefill_queue),
-        )
+        return self._select_via_metrics(instances, request)
 
 
 @register_router
@@ -118,6 +189,7 @@ class BufferAwareRouter(Router):
     """
 
     name = "buffer_aware"
+    shardable = True
 
     def __init__(self, target_buffer_s: float = 1.0) -> None:
         if target_buffer_s <= 0:
@@ -143,17 +215,19 @@ class BufferAwareRouter(Router):
         pending = instance.unfinished - len(instance.running)
         return deficit + target * pending
 
-    def select(self, instances: Sequence, request) -> int:
+    def instance_metrics(self, instance, request):
+        return (self.instance_deficit(instance), instance.unfinished)
+
+    def select_from_metrics(self, n: int, metrics: Optional[List], request) -> int:
         # Deficit first; among equally-healthy nodes, least total load;
         # then lowest index (full determinism).
         return min(
-            range(len(instances)),
-            key=lambda i: (
-                self.instance_deficit(instances[i]),
-                instances[i].unfinished,
-                i,
-            ),
+            range(n),
+            key=lambda i: (metrics[i][0], metrics[i][1], i),
         )
+
+    def select(self, instances: Sequence, request) -> int:
+        return self._select_via_metrics(instances, request)
 
 
 @register_router
@@ -169,17 +243,33 @@ class SessionAffinityRouter(Router):
     """
 
     name = "session_affinity"
+    shardable = True
 
     def __init__(self, base: Union[str, Router] = "least_loaded") -> None:
         self.base = make_router(base)
+        # Sharded execution delegates the metric split to the base
+        # policy, so stickiness is only shardable if the base is.
+        self.shardable = self.base.shardable
         self.assignments: Dict[int, int] = {}
 
-    def select(self, instances: Sequence, request) -> int:
+    def needs_state(self, request) -> bool:
+        session = getattr(request, "session_id", None)
+        if session is not None and session in self.assignments:
+            return False
+        return self.base.needs_state(request)
+
+    def instance_metrics(self, instance, request):
+        return self.base.instance_metrics(instance, request)
+
+    def select_from_metrics(self, n: int, metrics: Optional[List], request) -> int:
         session = getattr(request, "session_id", None)
         if session is None:
-            return self.base.select(instances, request)
+            return self.base.select_from_metrics(n, metrics, request)
         idx = self.assignments.get(session)
         if idx is None:
-            idx = self.base.select(instances, request)
+            idx = self.base.select_from_metrics(n, metrics, request)
             self.assignments[session] = idx
         return idx
+
+    def select(self, instances: Sequence, request) -> int:
+        return self._select_via_metrics(instances, request)

@@ -293,12 +293,20 @@ class TestRetryAndTimeout:
         import multiprocessing
         if multiprocessing.get_start_method() != "fork":
             pytest.skip("worker patching requires fork start method")
+        from repro.orchestration.pool import reset_pool
+
+        # Deadline-free parallel runs reuse the warm pool, whose
+        # workers may have forked before this monkeypatch existed;
+        # force a re-fork so they execute the patched body.
+        reset_pool()
         monkeypatch.setattr(executor_mod, "_execute_cell", _kill_self)
         cells = [MatrixCell(scenario="cluster-burst-4x", seed=s, scale=0.02)
                  for s in range(2)]
         report = run_matrix(cells, jobs=2, retries=2)
         assert [c.status for c in report.cells] == [STATUS_ERROR] * 2
         assert not report.succeeded
+        # Leave a clean slate for whoever uses the warm pool next.
+        reset_pool()
 
     @pytest.mark.parametrize("jobs", [1, 2])
     def test_single_miss_with_timeout_still_enforced(self, monkeypatch, jobs):

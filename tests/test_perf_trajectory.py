@@ -23,6 +23,15 @@ BENCH_PATH = (
     Path(__file__).resolve().parent.parent / "benchmarks" / "BENCH_simcore.json"
 )
 
+SHARD_BENCH_PATH = (
+    Path(__file__).resolve().parent.parent / "benchmarks" / "BENCH_shard.json"
+)
+
+# Committed coordination-overhead ceiling for the sharded cluster (best
+# sharded wall vs classic wall on the soak workload; matches the gate
+# asserted live in benchmarks/test_shard_scaling.py).
+ALLOWED_SHARD_OVERHEAD = 1.15
+
 # Fraction of the recorded-best call-count ratio the current ratio
 # must retain.
 ALLOWED_REGRESSION = 0.10
@@ -115,3 +124,40 @@ def test_best_is_monotone_upper_bound():
     # The refresh logic takes max(current, previous best); the artifact
     # must never be committed with best below current.
     assert best >= payload["speedup"]["calls"] * (1.0 - 1e-12)
+
+
+# --- sharded cluster trajectory (benchmarks/BENCH_shard.json) ---------------
+
+def test_shard_bench_artifact_exists_and_parses():
+    payload = json.loads(SHARD_BENCH_PATH.read_text())
+    assert payload["workload"]["replicas"] >= 64
+    assert payload["workload"]["n_requests"] > 0
+    assert payload["baseline"]["wall_s"] > 0
+
+
+def test_shard_bench_rows_well_formed():
+    payload = json.loads(SHARD_BENCH_PATH.read_text())
+    rows = payload["shards"]
+    assert {row["shards"] for row in rows} >= {1, 2, 4}
+    for row in rows:
+        assert row["wall_s"] > 0
+        assert row["overhead"] > 0
+        assert row["messages_sent"] >= row["shards"]
+        assert len(row["shard_events"]) == row["shards"]
+        assert all(events > 0 for events in row["shard_events"])
+
+
+def test_shard_overhead_within_committed_gate():
+    """The committed artifact must show the coordination protocol
+    holding the ISSUE's overhead gate — a regression that was measured
+    and committed without acknowledgement fails here, cheaply, in the
+    fast lane."""
+    payload = json.loads(SHARD_BENCH_PATH.read_text())
+    best = payload["best"]["overhead"]
+    assert best <= ALLOWED_SHARD_OVERHEAD, (
+        f"recorded best sharded overhead {best:.2f}x exceeds the "
+        f"{ALLOWED_SHARD_OVERHEAD}x gate. Either coordination genuinely "
+        f"regressed (see benchmarks/test_shard_scaling.py) or the "
+        f"artifact was refreshed on a loaded machine — re-run the "
+        f"harness and justify any real change in the PR."
+    )

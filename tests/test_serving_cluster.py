@@ -35,8 +35,16 @@ class TestConstruction:
     def test_homogeneous_builds_instances(self):
         cluster = make_cluster(3)
         assert len(cluster.instances) == 3
-        # All instances share one engine (one timeline).
-        assert all(inst.engine is cluster.engine for inst in cluster.instances)
+        # All instances schedule onto one shared engine (one timeline)
+        # through per-instance scoped views, so each plans fusion
+        # windows against only its own events + the dispatch horizon.
+        assert all(
+            inst.engine.base is cluster.engine for inst in cluster.instances
+        )
+        assert all(
+            inst.engine.external_horizon == cluster._next_dispatch_time
+            for inst in cluster.instances
+        )
 
     def test_invalid_dispatch_rejected(self):
         with pytest.raises(ValueError):

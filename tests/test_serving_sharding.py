@@ -1,0 +1,319 @@
+"""Sharded cluster simulation vs the single-process cluster.
+
+The contract under test: :class:`~repro.serving.shard.ShardedServingCluster`
+partitions a replica cluster across shard workers that each advance to a
+conservative horizon (the router's next dispatch time), yet the final
+:class:`~repro.serving.cluster.ClusterReport` is **bit-identical** to the
+classic shared-engine :class:`~repro.serving.cluster.ServingCluster` — for
+every built-in router, any shard count, both workload intake paths
+(``submit`` and ``feed``), and both transports (in-process ``inline`` and
+``process`` workers).
+
+Fingerprints are compared through ``repr`` rather than tuple equality:
+instances that routed zero requests report NaN latency fields, and
+``nan != nan`` under ``==`` while ``repr`` renders both as ``'nan'``.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.experiments.systems import SchedulerRecipe
+from repro.scenarios.build import build_run
+from repro.scenarios.registry import get_scenario
+from repro.serving.cluster import ServingCluster
+from repro.serving.metrics import report_fingerprint
+from repro.serving.routers import ROUTERS, Router
+from repro.serving.shard import ShardedServingCluster
+from repro.workload.request import Request
+
+# Registry cluster scenarios with a scale that keeps each run small
+# enough for an exhaustive sweep (the soak scenario runs 64 replicas,
+# so it gets the tiniest workload slice).
+CLUSTER_SCENARIOS = {
+    "cluster-burst-4x": 0.25,
+    "bursty-sessions": 0.25,
+    "cluster-soak-64x": 0.02,
+}
+
+ALL_ROUTERS = sorted(ROUTERS)
+
+
+# --- fingerprint helpers -----------------------------------------------------
+
+def deep_fp(target, report) -> str:
+    """Everything observable from one cluster run, NaN-tolerant.
+
+    Covers the aggregate fingerprint, each instance's full fingerprint
+    plus executor/kv/scheduler stats, timeline and preemptions, and the
+    routing record (placements + per-instance counts).
+    """
+    per = [
+        (
+            report_fingerprint(r),
+            sorted(r.executor_stats.items()),
+            sorted(r.kv_stats.items()),
+            sorted(r.scheduler_stats.items()),
+            r.timeline,
+            r.preemptions,
+        )
+        for r in report.per_instance
+    ]
+    return repr(
+        (
+            report_fingerprint(report.aggregate),
+            per,
+            sorted(target.placements.items()),
+            target.placement_counts(),
+        )
+    )
+
+
+def run_registry(name, *, scale, seed, router=None, shards=1,
+                 transport=None, streamed=False):
+    """Build and execute one registry scenario; return (target, fingerprint)."""
+    overrides = {"shards": shards}
+    if router is not None:
+        overrides["router"] = router
+    spec = get_scenario(name, scale=scale, seed=seed, **overrides)
+    run = build_run(spec)
+    if transport is not None and isinstance(run.target, ShardedServingCluster):
+        run.target.transport = transport
+    report = run.execute(streamed=streamed)
+    return run.target, deep_fp(run.target, report)
+
+
+# --- direct-API helpers ------------------------------------------------------
+
+def _requests(n=48):
+    """Deterministic synthetic arrivals (already ordered for ``feed``)."""
+    return [
+        Request(
+            req_id=i,
+            arrival_time=0.03 * i,
+            prompt_len=64 + (i * 13) % 96,
+            output_len=32 + (i * 7) % 64,
+            rate=20.0,
+            session_id=i % 5,
+        )
+        for i in range(n)
+    ]
+
+
+def _classic(n=4, router="least_loaded"):
+    return ServingCluster.homogeneous(
+        n, SchedulerRecipe("tokenflow"), router=router,
+        mem_frac=0.02, max_batch=16,
+    )
+
+
+def _sharded(n=4, router="least_loaded", shards=2, transport="inline"):
+    return ShardedServingCluster.homogeneous(
+        n, SchedulerRecipe("tokenflow"), router=router,
+        shards=shards, transport=transport,
+        mem_frac=0.02, max_batch=16,
+    )
+
+
+def _classic_fp(router="least_loaded", until=None):
+    cluster = _classic(router=router)
+    cluster.submit(_requests())
+    cluster.run(until=until)
+    return deep_fp(cluster, cluster.report())
+
+
+def _sharded_fp(router="least_loaded", shards=2, transport="inline",
+                until=None, via_feed=False):
+    cluster = _sharded(router=router, shards=shards, transport=transport)
+    if via_feed:
+        cluster.feed(iter(_requests()))
+    else:
+        cluster.submit(_requests())
+    cluster.run(until=until)
+    return deep_fp(cluster, cluster.report())
+
+
+# --- fast lane: direct API ---------------------------------------------------
+
+@pytest.mark.parametrize("router", ALL_ROUTERS)
+def test_inline_parity_every_router(router):
+    """K=2 inline shards reproduce the shared-engine run bit-for-bit."""
+    assert _sharded_fp(router=router, shards=2) == _classic_fp(router=router)
+
+
+def test_shard_count_invariance():
+    """K ∈ {1, 2, 4} all reproduce the same run (4 replicas)."""
+    baseline = _classic_fp(router="least_loaded")
+    for shards in (1, 2, 4):
+        assert _sharded_fp(router="least_loaded", shards=shards) == baseline
+
+
+def test_process_transport_parity():
+    """Real worker processes: state crosses pickling boundaries intact."""
+    baseline = _classic_fp(router="least_loaded")
+    assert _sharded_fp(router="least_loaded", shards=2,
+                       transport="process") == baseline
+
+
+def test_process_transport_stateless_router():
+    """round_robin exercises the buffered (non-pausing) fast path."""
+    baseline = _classic_fp(router="round_robin")
+    assert _sharded_fp(router="round_robin", shards=2,
+                       transport="process") == baseline
+
+
+def test_feed_matches_submit():
+    baseline = _classic_fp(router="least_queued")
+    assert _sharded_fp(router="least_queued", via_feed=True) == baseline
+    assert _sharded_fp(router="least_queued", via_feed=False) == baseline
+
+
+def test_horizon_truncation_matches_classic():
+    """Requests past the horizon stay pending on both implementations."""
+    horizon = 0.03 * 24  # strands roughly half the synthetic arrivals
+    classic = _classic(router="least_loaded")
+    classic.submit(_requests())
+    classic.run(until=horizon)
+    sharded = _sharded(router="least_loaded", shards=2)
+    sharded.submit(_requests())
+    sharded.run(until=horizon)
+    assert sharded.unfinished == classic.unfinished
+    assert deep_fp(sharded, sharded.report()) == deep_fp(
+        classic, classic.report()
+    )
+
+
+def test_shards_clamped_to_replicas():
+    cluster = _sharded(n=4, shards=16)
+    assert cluster.shards == 4
+
+
+def test_non_shardable_router_rejected():
+    class OpaqueRouter(Router):
+        name = "opaque"
+
+        def select(self, instances, request):
+            return 0
+
+    with pytest.raises(ValueError, match="shardable"):
+        ShardedServingCluster.homogeneous(
+            2, SchedulerRecipe("tokenflow"), router=OpaqueRouter(),
+            mem_frac=0.02, max_batch=16,
+        )
+
+
+def test_env_switch_selects_inline_transport(monkeypatch):
+    monkeypatch.setenv("REPRO_SHARD_INLINE", "1")
+    assert _sharded(transport=None).transport == "inline"
+    monkeypatch.delenv("REPRO_SHARD_INLINE")
+    assert _sharded(transport=None).transport == "process"
+
+
+def test_run_twice_raises():
+    cluster = _sharded()
+    cluster.submit(_requests(8))
+    cluster.run()
+    with pytest.raises(RuntimeError, match="already ran"):
+        cluster.run()
+    with pytest.raises(RuntimeError, match="already ran"):
+        cluster.submit(_requests(1))
+
+
+def test_report_before_run_raises():
+    with pytest.raises(RuntimeError, match="before report"):
+        _sharded().report()
+
+
+def test_scheduler_recipe_pickles():
+    recipe = pickle.loads(pickle.dumps(SchedulerRecipe("tokenflow")))
+    assert recipe().name == "tokenflow"
+
+
+# --- fast lane: scenario/CLI plumbing ---------------------------------------
+
+def test_build_run_shards_one_uses_classic_cluster():
+    spec = get_scenario("cluster-burst-4x", scale=0.1, shards=1)
+    run = build_run(spec)
+    assert isinstance(run.target, ServingCluster)
+    spec = get_scenario("cluster-burst-4x", scale=0.1, shards=2)
+    run = build_run(spec)
+    assert isinstance(run.target, ShardedServingCluster)
+    assert run.target.shards == 2
+
+
+def test_sharded_cells_inside_matrix_workers():
+    """Sharded cells run (and exit) cleanly inside pool workers.
+
+    A nested warm pool inside a matrix worker deadlocks worker
+    shutdown (multiprocessing joins the worker's children before the
+    nested executor's atexit shutdown runs), so the sharded cluster
+    must fall back to the inline transport off the main process —
+    with identical results.
+    """
+    from repro.orchestration import MatrixSpec, run_matrix
+
+    spec = MatrixSpec.from_axes(
+        scenarios=["cluster-burst-4x"], shards=[1, 2], seeds=[0], scale=0.05
+    )
+    report = run_matrix(spec, jobs=2, cache=False)
+    cells = report.cells
+    assert all(cell.ok for cell in cells), [cell.status for cell in cells]
+    assert repr(report_fingerprint(cells[0].report)) == repr(
+        report_fingerprint(cells[1].report)
+    )
+
+
+def test_registry_parity_process_transport():
+    """One registry scenario end-to-end through real worker processes."""
+    _, baseline = run_registry("cluster-burst-4x", scale=0.1, seed=0)
+    _, sharded = run_registry(
+        "cluster-burst-4x", scale=0.1, seed=0, shards=2, transport="process"
+    )
+    assert sharded == baseline
+
+
+# --- slow lane: exhaustive registry sweep ------------------------------------
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [0, 1])
+@pytest.mark.parametrize("router", ALL_ROUTERS)
+@pytest.mark.parametrize("name", sorted(CLUSTER_SCENARIOS))
+def test_registry_sweep_bit_identical(name, router, seed):
+    """Scenarios × routers × seeds × {submit, feed}: sharded == classic."""
+    scale = CLUSTER_SCENARIOS[name]
+    for streamed in (False, True):
+        _, baseline = run_registry(
+            name, scale=scale, seed=seed, router=router, streamed=streamed
+        )
+        _, sharded = run_registry(
+            name, scale=scale, seed=seed, router=router, shards=2,
+            transport="inline", streamed=streamed,
+        )
+        assert sharded == baseline, (
+            f"{name} router={router} seed={seed} streamed={streamed}"
+        )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", sorted(CLUSTER_SCENARIOS))
+def test_registry_shard_count_invariance(name):
+    """K ∈ {2, 4} reproduce the scenario's classic run exactly."""
+    scale = CLUSTER_SCENARIOS[name]
+    _, baseline = run_registry(name, scale=scale, seed=0)
+    for shards in (2, 4):
+        _, sharded = run_registry(
+            name, scale=scale, seed=0, shards=shards, transport="inline"
+        )
+        assert sharded == baseline, f"{name} shards={shards}"
+
+
+@pytest.mark.slow
+def test_soak_process_transport_parity():
+    """64 replicas over 4 real worker processes, round_robin fast path."""
+    _, baseline = run_registry("cluster-soak-64x", scale=0.02, seed=0)
+    _, sharded = run_registry(
+        "cluster-soak-64x", scale=0.02, seed=0, shards=4, transport="process"
+    )
+    assert sharded == baseline
