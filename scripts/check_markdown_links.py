@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Check that relative file links in the repo's markdown resolve.
+
+Scans every tracked ``*.md`` file for inline links/images
+(``[text](target)``) and reference definitions (``[ref]: target``),
+skips external schemes (``http(s)://``, ``mailto:``) and pure
+in-page anchors (``#...``), and verifies the remaining targets exist
+on disk relative to the containing file.  Stdlib only; exits nonzero
+listing every broken link.
+
+Run directly or via the fast CI lane (``scripts/ci.sh --fast``)::
+
+    python scripts/check_markdown_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Inline [text](target) — target up to the first unescaped ')' or
+# whitespace (titles like (file.md "Title") drop the title part).
+INLINE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+IMAGE = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFDEF = re.compile(r"^\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+# Fenced code blocks frequently contain pseudo-links (e.g. bash
+# arrays, pytest ids); strip them before scanning.
+FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def tracked_markdown() -> list[Path]:
+    out = subprocess.run(
+        ["git", "ls-files", "--cached", "--others", "--exclude-standard",
+         "*.md", "**/*.md"],
+        cwd=REPO, capture_output=True, text=True, check=True,
+    ).stdout
+    return [REPO / line for line in out.splitlines() if line]
+
+
+def targets(text: str):
+    text = FENCE.sub("", text)
+    for pattern in (INLINE, IMAGE, REFDEF):
+        for match in pattern.finditer(text):
+            yield match.group(1)
+
+
+def check() -> int:
+    broken = []
+    for md in tracked_markdown():
+        text = md.read_text(encoding="utf-8")
+        for raw in targets(text):
+            target = raw.split("#", 1)[0]  # strip in-page anchor
+            if not target or raw.startswith(SKIP_PREFIXES):
+                continue
+            if target.startswith("/"):
+                # Repo-absolute form is never used here; flag it.
+                broken.append((md, raw, "absolute path"))
+                continue
+            resolved = (md.parent / target).resolve()
+            if not resolved.exists():
+                broken.append((md, raw, "missing"))
+    if broken:
+        print(f"{len(broken)} broken markdown link(s):")
+        for md, raw, why in broken:
+            print(f"  {md.relative_to(REPO)}: ({raw}) [{why}]")
+        return 1
+    print(f"markdown links OK ({len(tracked_markdown())} files scanned)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(check())

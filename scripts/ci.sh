@@ -52,6 +52,16 @@ if [[ "$FAST" -eq 1 ]]; then
     echo "== fast lane: repro run --shards 2 smoke =="
     python -m repro.cli run cluster-burst-4x --shards 2 --scale 0.1 || rc=$?
   fi
+  if [[ "$rc" -eq 0 ]]; then
+    # Catalogue smoke: the long listing renders every ScenarioSpec.doc,
+    # so a scenario registered without docs (or a rendering bug) fails
+    # fast; the link checker keeps README/docs cross-references honest.
+    echo "== fast lane: repro list-scenarios --long + markdown links =="
+    python -m repro.cli list-scenarios --long > /dev/null || rc=$?
+    if [[ "$rc" -eq 0 ]]; then
+      python scripts/check_markdown_links.py || rc=$?
+    fi
+  fi
 else
   echo "== tier-1: full suite (tests/ + benchmarks/, incl. perf smoke) =="
   python -m pytest -x -q || rc=$?

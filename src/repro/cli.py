@@ -183,10 +183,29 @@ def cmd_compare(args) -> int:
     return 0
 
 
-def cmd_list_scenarios(_args) -> int:
-    rows = [[name, desc] for name, desc in list_scenarios()]
-    print(render_table(["scenario", "description"], rows,
-                       title="Registered scenarios (repro run <scenario>)"))
+def cmd_list_scenarios(args) -> int:
+    if not getattr(args, "long", False):
+        rows = [[name, desc] for name, desc in list_scenarios()]
+        print(render_table(["scenario", "description"], rows,
+                           title="Registered scenarios (repro run <scenario>)"))
+        return 0
+    # Catalogue mode: resolve each entry at default scale/seed and
+    # render its ScenarioSpec.doc paragraph plus the axes that matter.
+    import textwrap
+
+    for name, desc in list_scenarios():
+        spec = get_scenario(name)
+        axes = [f"system={spec.system}", f"replicas={spec.replicas}"]
+        if spec.replicas > 1:
+            axes.append(f"router={spec.router}")
+        axes.append(f"kv_allocator={spec.kv_allocator}")
+        if spec.is_stream_native:
+            axes.append("stream-native")
+        print(f"{name} — {desc}")
+        print(f"    [{' · '.join(axes)}]")
+        for line in textwrap.wrap(spec.doc or spec.description, width=72):
+            print(f"    {line}")
+        print()
     return 0
 
 
@@ -273,6 +292,8 @@ def cmd_run(args) -> int:
         overrides["shards"] = args.shards
     if args.horizon is not None:
         overrides["horizon"] = args.horizon
+    if args.kv_allocator is not None:
+        overrides["kv_allocator"] = args.kv_allocator
     try:
         spec = get_scenario(args.name, scale=args.scale, seed=args.seed,
                             **overrides)
@@ -408,9 +429,13 @@ def build_parser() -> argparse.ArgumentParser:
         func=cmd_list
     )
 
-    sub.add_parser(
+    list_sc = sub.add_parser(
         "list-scenarios", help="list registered serving scenarios"
-    ).set_defaults(func=cmd_list_scenarios)
+    )
+    list_sc.add_argument("--long", action="store_true",
+                         help="full catalogue: each scenario's doc "
+                              "paragraph and axes (from ScenarioSpec.doc)")
+    list_sc.set_defaults(func=cmd_list_scenarios)
 
     run_p = sub.add_parser(
         "run", help="run one scenario through the build_run pipeline"
@@ -432,6 +457,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "1 keeps the single-process path)")
     run_p.add_argument("--horizon", type=float, default=None,
                        help="override the simulation safety horizon (s)")
+    run_p.add_argument("--kv-allocator", dest="kv_allocator",
+                       choices=("naive", "prefix_cow"), default=None,
+                       help="override the KV block allocator policy "
+                            "(prefix_cow enables refcounted prefix "
+                            "sharing with copy-on-write forks)")
     run_p.add_argument("--stream", action="store_true",
                        help="drive arrivals through the streaming plane "
                             "(feed(stream); event-for-event identical to "

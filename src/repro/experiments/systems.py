@@ -69,23 +69,35 @@ class SchedulerRecipe:
         return scheduler
 
 
-def make_kv_config(name: str, block_size: int = 16) -> KVManagerConfig:
+def make_kv_config(
+    name: str, block_size: int = 16, kv_allocator: str = "naive"
+) -> KVManagerConfig:
     """KV-manager switches per system.
 
     Baselines have no hierarchical offload (SGLang/Andes preempt by
     dropping KV and recomputing); TokenFlow enables the full memory
     co-design, minus one technique per ablation variant.
+    ``kv_allocator`` is orthogonal to the system: any of them can run
+    on the naive count-only allocator or the prefix-sharing table.
     """
     if name in ("sglang", "sglang-chunked", "andes", "mlfq"):
-        return KVManagerConfig(block_size=block_size, enable_offload=False)
+        return KVManagerConfig(
+            block_size=block_size, enable_offload=False, kv_allocator=kv_allocator
+        )
     if name == "tokenflow":
-        return KVManagerConfig(block_size=block_size)
+        return KVManagerConfig(block_size=block_size, kv_allocator=kv_allocator)
     if name == "tokenflow-no-offload":
-        return KVManagerConfig(block_size=block_size, enable_offload=False)
+        return KVManagerConfig(
+            block_size=block_size, enable_offload=False, kv_allocator=kv_allocator
+        )
     if name == "tokenflow-no-writethrough":
-        return KVManagerConfig(block_size=block_size, write_through=False)
+        return KVManagerConfig(
+            block_size=block_size, write_through=False, kv_allocator=kv_allocator
+        )
     if name == "tokenflow-no-overlap":
-        return KVManagerConfig(block_size=block_size, load_evict_overlap=False)
+        return KVManagerConfig(
+            block_size=block_size, load_evict_overlap=False, kv_allocator=kv_allocator
+        )
     raise KeyError(f"unknown system {name!r}")
 
 
@@ -99,6 +111,7 @@ def build_system(
     tokenflow_params: Optional[TokenFlowParams] = None,
     fuse_decode: bool = True,
     vectorize_decode: bool = True,
+    kv_allocator: str = "naive",
     retain_per_request: bool = True,
     record_token_traces: bool = False,
 ) -> ServingSystem:
@@ -117,7 +130,7 @@ def build_system(
         mem_frac=mem_frac,
         max_batch=max_batch,
         block_size=block_size,
-        kv=make_kv_config(name, block_size),
+        kv=make_kv_config(name, block_size, kv_allocator),
         fuse_decode=fuse_decode,
         vectorize_decode=vectorize_decode,
         retain_per_request=retain_per_request,

@@ -1,24 +1,34 @@
 """Hierarchical KV-cache memory substrate.
 
-Three layers:
+Four layers:
 
 * :mod:`repro.memory.blocks` — block-granular pool allocators for the
-  GPU and CPU KV pools (PagedAttention-style accounting).
+  GPU and CPU KV pools (PagedAttention-style per-owner accounting,
+  plus the ownership ``transfer`` primitive prefix sharing builds on).
+* :mod:`repro.memory.blocktable` — the optional ``prefix_cow``
+  allocator policy: refcounted shared blocks keyed by positional
+  content hash, cache promotion, copy-on-write forks, and a refs-0
+  LRU cache reclaimed under pressure (see docs/memory-model.md).
 * :mod:`repro.memory.pcie` — the host link: per-direction bandwidth
   queues with chunked-transfer accounting (full duplex, as on PCIe).
 * :mod:`repro.memory.kv_manager` — TokenFlow's hierarchical KV cache
   manager: write-through replication, synchronous chunked writing
-  sized to compute intervals, load-evict overlap, and the ablation
-  switches used by Table 2.
+  sized to compute intervals, load-evict overlap, the ablation
+  switches used by Table 2, and the ``kv_allocator`` policy switch
+  (``naive`` counts-only vs ``prefix_cow`` identity blocks).
 """
 
 from repro.memory.blocks import BlockPool, OutOfMemory
+from repro.memory.blocktable import PrefixBlockTable, SharedBlock, SHARED_OWNER
 from repro.memory.pcie import PCIeDirection, PCIeLink, TransferJob
 from repro.memory.kv_manager import HierarchicalKVManager, KVManagerConfig, KVRecord
 
 __all__ = [
     "BlockPool",
     "OutOfMemory",
+    "PrefixBlockTable",
+    "SharedBlock",
+    "SHARED_OWNER",
     "PCIeDirection",
     "PCIeLink",
     "TransferJob",

@@ -27,6 +27,20 @@ by registration for deterministic tie-breaks) replaces the per-
 iteration scan over every record, and decode-token growth tracks block
 boundaries arithmetically instead of re-deriving block counts through
 the pool on every generated token.
+
+Allocator policy is pluggable (``KVManagerConfig.kv_allocator``):
+
+* ``"naive"`` (default) — per-request block counts only, exactly the
+  historical behaviour, bit-for-bit.
+* ``"prefix_cow"`` — a :class:`~repro.memory.blocktable.PrefixBlockTable`
+  gives blocks identity: prefill allocation consults the prefix index
+  and maps shared prefixes onto existing refcounted blocks (with
+  copy-on-write forks and refcount-aware eviction).  Every held-blocks
+  computation folds in ``KVRecord.shared_blocks`` — zero under the
+  naive allocator, so the arithmetic is an additive no-op there — and
+  per-request *logical* growth (``gpu_tokens``) is unchanged, so the
+  fused and vectorised decode planes work identically above either
+  allocator.
 """
 
 from __future__ import annotations
@@ -35,6 +49,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence
 
 from repro.memory.blocks import BlockPool, OutOfMemory
+from repro.memory.blocktable import PrefixBlockTable
 from repro.memory.pcie import PCIeLink
 from repro.sim.engine import SimEngine
 
@@ -54,6 +69,9 @@ class KVManagerConfig:
         load_evict_overlap: if False, loads wait for every pending
             eviction to finish (Table 2 "w/o Evict-Load Overlap").
         cpu_capacity_blocks: host pool capacity.
+        kv_allocator: ``"naive"`` (per-request block counts, the
+            default) or ``"prefix_cow"`` (refcounted prefix-sharing
+            block table with copy-on-write forks).
     """
 
     block_size: int = 16
@@ -61,6 +79,7 @@ class KVManagerConfig:
     write_through: bool = True
     load_evict_overlap: bool = True
     cpu_capacity_blocks: int = 4_000_000
+    kv_allocator: str = "naive"
 
 
 @dataclass
@@ -72,6 +91,12 @@ class KVRecord:
     is ``gpu_tokens - cpu_tokens`` (never negative while resident).
     ``seq`` is the registration order — the deterministic tie-break
     for priority-ordered drains.
+
+    ``shared_blocks`` counts prefix-index blocks this request maps
+    (references) instead of owning: its physical holdings are
+    ``pool.used_by(req_id) + shared_blocks``.  Always 0 under the
+    naive allocator, so folding it into held-block arithmetic is an
+    additive no-op there.
     """
 
     req_id: int
@@ -80,6 +105,7 @@ class KVRecord:
     resident: bool = False        # True while the request can decode
     pending_free_blocks: int = 0  # blocks awaiting transfer completion
     seq: int = 0
+    shared_blocks: int = 0        # prefix-table blocks mapped by reference
 
     @property
     def dirty_tokens(self) -> int:
@@ -129,6 +155,18 @@ class HierarchicalKVManager:
             "eviction_tail_bytes": 0.0,
             "load_bytes": 0.0,
         }
+        # Optional prefix-sharing block table.  When None (the naive
+        # allocator), every hook below is skipped and the manager is
+        # bit-identical to the historical count-only behaviour.
+        if self.config.kv_allocator == "prefix_cow":
+            self.prefix = PrefixBlockTable(self.gpu_pool, self.stats)
+        elif self.config.kv_allocator == "naive":
+            self.prefix = None
+        else:
+            raise ValueError(
+                f"unknown kv_allocator {self.config.kv_allocator!r} "
+                "(expected 'naive' or 'prefix_cow')"
+            )
 
     # --- helpers -------------------------------------------------------------
     def record(self, req_id: int) -> KVRecord:
@@ -145,10 +183,24 @@ class HierarchicalKVManager:
         return -(-n_tokens // self._block_size)  # ceil division
 
     def gpu_free_blocks(self) -> int:
+        """Blocks the next allocation can claim (free + reclaimable).
+
+        Cached prefix blocks (refs 0) are resident but evictable on
+        demand, so admission/fitting decisions count them as free;
+        the allocation paths reclaim them just-in-time.
+        """
+        if self.prefix is not None:
+            return self.gpu_pool.free + self.prefix.evictable_blocks
         return self.gpu_pool.free
 
     def can_allocate_tokens(self, n_tokens: int) -> bool:
-        return self.gpu_pool.can_allocate(self.blocks_for_tokens(n_tokens))
+        return self.blocks_for_tokens(n_tokens) <= self.gpu_free_blocks()
+
+    def _reclaim_for(self, n_blocks: int) -> None:
+        """Evict cached prefix blocks until ``n_blocks`` fit (or give up)."""
+        short = n_blocks - self.gpu_pool.free
+        if short > 0:
+            self.prefix.reclaim(short)
 
     def _sync_dirty(self, record: KVRecord) -> None:
         """Re-derive the record's dirty-set membership after a mutation."""
@@ -158,13 +210,20 @@ class HierarchicalKVManager:
             self._dirty.pop(record.req_id, None)
 
     # --- request lifecycle -----------------------------------------------------
-    def register(self, req_id: int) -> KVRecord:
-        """Create the placement record for a new request."""
+    def register(self, req_id: int, request=None) -> KVRecord:
+        """Create the placement record for a new request.
+
+        ``request`` (the workload object) is optional and only
+        inspected by the prefix-sharing allocator, which derives the
+        request's sharing identity from it.
+        """
         if req_id in self._records:
             raise ValueError(f"request {req_id} already registered")
         record = KVRecord(req_id=req_id, seq=self._next_seq)
         self._next_seq += 1
         self._records[req_id] = record
+        if self.prefix is not None:
+            self.prefix.register(req_id, request)
         return record
 
     def allocate_for_prefill(self, req_id: int, context_tokens: int) -> None:
@@ -172,10 +231,23 @@ class HierarchicalKVManager:
 
         Raises :class:`OutOfMemory` if the pool cannot hold it; the
         caller (scheduler/server) is responsible for checking first or
-        handling the failure.
+        handling the failure.  Under the prefix allocator this first
+        consults the prefix index, mapping any shared prefix onto
+        existing blocks so only the unshared remainder is allocated.
         """
         record = self.record(req_id)
         needed = self.blocks_for_tokens(context_tokens)
+        if self.prefix is not None:
+            self.prefix.attach(req_id, record, context_tokens)
+            held = (
+                self.gpu_pool.used_by(req_id)
+                - record.pending_free_blocks
+                + record.shared_blocks
+            )
+            if needed > held:
+                self._reclaim_for(needed - held)
+                self.gpu_pool.allocate(req_id, needed - held)
+            return
         # Blocks whose eviction transfer is still in flight are not
         # reusable: they will be released when the transfer completes.
         held = self.gpu_pool.used_by(req_id) - record.pending_free_blocks
@@ -191,6 +263,11 @@ class HierarchicalKVManager:
         # host copy stays valid, so only the excess is dirty.
         record.cpu_tokens = min(record.cpu_tokens, context_tokens)
         self._sync_dirty(record)
+        # Publish the freshly computed prefix so concurrent requests of
+        # the same namespace can share it live (skipped while an
+        # eviction is in flight — those blocks are not transferable).
+        if self.prefix is not None and record.pending_free_blocks == 0:
+            self.prefix.publish(req_id, record, context_tokens)
 
     def on_decode_token(self, req_id: int) -> None:
         """Grow the resident context by one generated token.
@@ -209,8 +286,14 @@ class HierarchicalKVManager:
         if tokens % self._block_size == 0:
             # The next token opens a new block.
             needed = tokens // self._block_size + 1
-            held = self.gpu_pool.usage.get(req_id, 0) - record.pending_free_blocks
+            held = (
+                self.gpu_pool.usage.get(req_id, 0)
+                - record.pending_free_blocks
+                + record.shared_blocks
+            )
             if needed > held:
+                if self.prefix is not None:
+                    self._reclaim_for(needed - held)
                 self.gpu_pool.allocate(req_id, needed - held)
         if record.cpu_tokens == tokens:
             # Was fully synced; the new token starts a dirty tail.
@@ -226,7 +309,11 @@ class HierarchicalKVManager:
         record = self._records.get(req_id)
         if record is None:
             raise KeyError(f"request {req_id} is not registered with the KV manager")
-        held = self.gpu_pool.usage.get(req_id, 0) - record.pending_free_blocks
+        held = (
+            self.gpu_pool.usage.get(req_id, 0)
+            - record.pending_free_blocks
+            + record.shared_blocks
+        )
         needed = -(-(record.gpu_tokens + 1) // self._block_size)
         if held <= 0:
             return needed
@@ -251,7 +338,7 @@ class HierarchicalKVManager:
                 raise KeyError(
                     f"request {rid} is not registered with the KV manager"
                 ) from None
-            held = usage_get(rid, 0) - record.pending_free_blocks
+            held = usage_get(rid, 0) - record.pending_free_blocks + record.shared_blocks
             needed = -(-(record.gpu_tokens + 1) // bs)
             if held <= 0:
                 growth[rid] = needed
@@ -274,7 +361,7 @@ class HierarchicalKVManager:
         """
         if k_cap <= 0:
             return 0
-        free = self.gpu_pool.free
+        free = self.gpu_free_blocks()
         bs = self._block_size
         usage_get = self.gpu_pool.usage.get
         records = self._records
@@ -282,7 +369,10 @@ class HierarchicalKVManager:
         for rid in req_ids:
             record = records[rid]
             entries.append(
-                (record.gpu_tokens, usage_get(rid, 0) - record.pending_free_blocks)
+                (
+                    record.gpu_tokens,
+                    usage_get(rid, 0) - record.pending_free_blocks + record.shared_blocks,
+                )
             )
 
         def growth(k: int) -> int:
@@ -359,12 +449,15 @@ class HierarchicalKVManager:
         records = self._records
         dirty = self._dirty
         with_drains = drain_starts is not None and k > 1
+        prefix = self.prefix
         for rid in req_ids:
             record = records[rid]
             tokens = record.gpu_tokens
             needed = (tokens + k - 1) // bs + 1
-            held = usage_get(rid, 0) - record.pending_free_blocks
+            held = usage_get(rid, 0) - record.pending_free_blocks + record.shared_blocks
             if needed > held:
+                if prefix is not None:
+                    self._reclaim_for(needed - held)
                 gpu_pool.allocate(rid, needed - held)
             record.gpu_tokens = tokens + k
             if with_drains:
@@ -384,11 +477,19 @@ class HierarchicalKVManager:
                 stats["write_through_bytes"] += per_drain_bytes
 
     def release(self, req_id: int) -> None:
-        """Drop all state for a finished (or aborted) request."""
+        """Drop all state for a finished (or aborted) request.
+
+        Under the prefix allocator the request first retires through
+        the block table: its references drop (a shared block is only
+        freeable once its last owner retires) and its private prefix
+        blocks are donated to the cache for the next prefix match.
+        """
         record = self._records.pop(req_id, None)
         if record is None:
             return
         self._dirty.pop(req_id, None)
+        if self.prefix is not None:
+            self.prefix.finish(req_id, record, record.gpu_tokens)
         self.gpu_pool.release_all(req_id)
         self.cpu_pool.release_all(req_id)
 
@@ -548,6 +649,11 @@ class HierarchicalKVManager:
             raise RuntimeError(f"request {req_id} is not resident; cannot preempt")
         record.resident = False
         self._dirty.pop(req_id, None)
+        if self.prefix is not None:
+            # Drop prefix references first: the paths below release or
+            # transfer only the request's *private* blocks, and a
+            # recompute-resumed prefill re-attaches (and hits) again.
+            self.prefix.detach(req_id, record)
         if not self.config.enable_offload:
             self.gpu_pool.release_all(req_id)
             self.cpu_pool.release_all(req_id)
@@ -567,6 +673,13 @@ class HierarchicalKVManager:
             return now
         total_blocks = self.gpu_pool.used_by(req_id)
         dirty_blocks = self.gpu_pool.blocks_for_tokens(dirty)
+        if self.prefix is not None and dirty_blocks > total_blocks:
+            # The dirty tail spans blocks the request maps from the
+            # prefix index; those were detached above, so the deferred
+            # free must cover private holdings only (the transfer still
+            # writes the full dirty byte count — the host copy is
+            # per-request).
+            dirty_blocks = total_blocks
         clean_blocks = max(0, total_blocks - dirty_blocks)
         if clean_blocks > 0:
             self.gpu_pool.release(req_id, clean_blocks)
@@ -611,8 +724,12 @@ class HierarchicalKVManager:
         if record.cpu_tokens <= 0 or not self.config.enable_offload:
             return False
         needed = self.blocks_for_tokens(record.cpu_tokens)
-        held = self.gpu_pool.used_by(req_id) - record.pending_free_blocks
-        return self.gpu_pool.can_allocate(max(0, needed - max(0, held)))
+        held = (
+            self.gpu_pool.used_by(req_id)
+            - record.pending_free_blocks
+            + record.shared_blocks
+        )
+        return max(0, needed - max(0, held)) <= self.gpu_free_blocks()
 
     def resume_load(self, req_id: int, now: float) -> float:
         """Start loading a preempted request's KV back to the GPU.
@@ -627,8 +744,15 @@ class HierarchicalKVManager:
         if record.cpu_tokens <= 0:
             raise RuntimeError(f"request {req_id} has no host copy; recompute instead")
         needed = self.blocks_for_tokens(record.cpu_tokens)
-        held = max(0, self.gpu_pool.used_by(req_id) - record.pending_free_blocks)
+        held = max(
+            0,
+            self.gpu_pool.used_by(req_id)
+            - record.pending_free_blocks
+            + record.shared_blocks,
+        )
         if needed > held:
+            if self.prefix is not None:
+                self._reclaim_for(needed - held)
             self.gpu_pool.allocate(req_id, needed - held)
         earliest = 0.0
         if not self.config.load_evict_overlap:
@@ -672,10 +796,19 @@ class HierarchicalKVManager:
         """Pool-level consistency checks for property tests."""
         self.gpu_pool.check_invariants()
         self.cpu_pool.check_invariants()
+        if self.prefix is not None:
+            self.prefix.check_invariants()
         for record in self._records.values():
             assert record.cpu_tokens >= 0 and record.gpu_tokens >= 0
+            assert record.shared_blocks >= 0
+            if self.prefix is not None:
+                chain = self.prefix.refs_held.get(record.req_id, ())
+                assert record.shared_blocks == len(chain), (
+                    f"request {record.req_id} shared_blocks={record.shared_blocks} "
+                    f"but holds {len(chain)} references"
+                )
             if record.resident:
-                held = self.gpu_pool.used_by(record.req_id)
+                held = self.gpu_pool.used_by(record.req_id) + record.shared_blocks
                 assert held >= self.gpu_pool.blocks_for_tokens(record.gpu_tokens) - record.pending_free_blocks
         # The dirty set is exactly {resident records with a dirty tail}.
         expected_dirty = {

@@ -24,6 +24,9 @@ class ScenarioSpec:
     Attributes:
         name: scenario identifier (registry key or ad-hoc label).
         description: one-line human description.
+        doc: longer catalogue entry (what the scenario exercises and
+            which axes matter) — rendered by
+            ``repro list-scenarios --long``.
         system: evaluated system name (scheduler + KV wiring), as
             understood by :func:`repro.experiments.systems.build_system`.
         hardware: hardware spec or name (e.g. "h200").
@@ -64,11 +67,17 @@ class ScenarioSpec:
         vectorize_decode: struct-of-arrays batch delivery switch (see
             :class:`~repro.serving.config.ServingConfig`); off runs
             the scalar per-request path bit-for-bit.
+        kv_allocator: KV block allocator policy — ``"naive"``
+            (per-request block counts, the historical behaviour,
+            bit-for-bit) or ``"prefix_cow"`` (refcounted prefix-sharing
+            block table with copy-on-write forks; see
+            :mod:`repro.memory.blocktable`).
         record_token_traces: keep per-token buffer traces (plots/export).
     """
 
     name: str
     description: str = ""
+    doc: str = ""
     system: str = "tokenflow"
     hardware: Union[str, object] = "h200"
     model: Union[str, object] = "llama3-8b"
@@ -86,6 +95,7 @@ class ScenarioSpec:
     tokenflow_params: Optional[object] = None
     fuse_decode: bool = True
     vectorize_decode: bool = True
+    kv_allocator: str = "naive"
     retain_per_request: bool = True
     record_token_traces: bool = False
 
@@ -101,6 +111,11 @@ class ScenarioSpec:
         if isinstance(self.router, str) and self.router not in ROUTERS:
             raise ValueError(
                 f"unknown router {self.router!r}; known: {sorted(ROUTERS)}"
+            )
+        if self.kv_allocator not in ("naive", "prefix_cow"):
+            raise ValueError(
+                f"unknown kv_allocator {self.kv_allocator!r} "
+                "(expected 'naive' or 'prefix_cow')"
             )
 
     def with_overrides(self, **changes) -> "ScenarioSpec":

@@ -253,7 +253,10 @@ class SessionAffinityRouter(Router):
         self.assignments: Dict[int, int] = {}
 
     def needs_state(self, request) -> bool:
-        session = getattr(request, "session_id", None)
+        # `Request.affinity_key` is the typed accessor shared with the
+        # prefix-sharing lookup path — no defensive getattr: every
+        # request defines it.
+        session = request.affinity_key
         if session is not None and session in self.assignments:
             return False
         return self.base.needs_state(request)
@@ -262,7 +265,7 @@ class SessionAffinityRouter(Router):
         return self.base.instance_metrics(instance, request)
 
     def select_from_metrics(self, n: int, metrics: Optional[List], request) -> int:
-        session = getattr(request, "session_id", None)
+        session = request.affinity_key
         if session is None:
             return self.base.select_from_metrics(n, metrics, request)
         idx = self.assignments.get(session)

@@ -4,7 +4,8 @@ The serving loop is four cooperating stages coordinated by the slim
 :class:`~repro.serving.server.ServingSystem` shell:
 
 * :class:`AdmissionStage` — arrivals into the tracker/KV/waiting queue
-  plus the scheduler tick clock;
+  plus the scheduler tick clock (also where a request's sharing
+  identity reaches the KV manager, for the ``prefix_cow`` allocator);
 * :class:`BatchComposer` — plans each iteration (prefill entries or a
   decode batch, including the §4.2.3 buffer-aware interleaving);
 * :class:`MemoryPressureStage` — resolves decode-time KV deficits via
@@ -148,7 +149,7 @@ class AdmissionStage:
             system.tracer.record(self.engine.now(), "request", "arrive",
                                  req_id=request.req_id)
         self.tracker.register(request)
-        self.kv.register(request.req_id)
+        self.kv.register(request.req_id, request)
         self.waiting.append(request)
         self.ensure_tick_scheduled()
         system._kick()

@@ -81,7 +81,16 @@ class Request:
             scheduling priority signal (paper §8).
         is_agent: True for non-user consumers (reference-rate clients).
         session_id: conversation this request is a turn of (None for
-            standalone requests).  Session-aware routing keys on it.
+            standalone requests).  Session-aware routing keys on it,
+            and the prefix-sharing allocator treats the session as a
+            block namespace (each turn re-feeds the previous context
+            verbatim, so prefixes align by construction).
+        prefix_group: id of a shared-prompt group (e.g. requests
+            replaying one RAG corpus / system prompt); ``prefix_len``
+            leading tokens are common to the group.  None for requests
+            with no cross-request prompt sharing.
+        prefix_len: length of the shared prompt prefix when
+            ``prefix_group`` is set (0 otherwise).
     """
 
     req_id: int
@@ -91,6 +100,8 @@ class Request:
     rate: float
     is_agent: bool = False
     session_id: Optional[int] = None
+    prefix_group: Optional[int] = None
+    prefix_len: int = 0
 
     # --- runtime state -------------------------------------------------
     state: RequestState = field(default=RequestState.QUEUED)
@@ -112,6 +123,14 @@ class Request:
             raise ValueError(f"rate must be positive, got {self.rate}")
         if self.arrival_time < 0:
             raise ValueError(f"arrival_time must be non-negative, got {self.arrival_time}")
+        if self.prefix_len < 0:
+            raise ValueError(f"prefix_len must be non-negative, got {self.prefix_len}")
+        if self.prefix_group is not None and self.prefix_len <= 0:
+            raise ValueError("prefix_group requires a positive prefix_len")
+        if self.prefix_group is not None and self.prefix_len > self.prompt_len:
+            raise ValueError(
+                f"prefix_len {self.prefix_len} exceeds prompt_len {self.prompt_len}"
+            )
 
     # --- derived quantities --------------------------------------------
     @property
@@ -127,6 +146,33 @@ class Request:
     @property
     def is_finished(self) -> bool:
         return self.state is RequestState.FINISHED
+
+    @property
+    def affinity_key(self) -> Optional[int]:
+        """Routing key for session-sticky policies (None = stateless).
+
+        The typed accessor session-affinity routing and prefix lookups
+        share: wherever a component asks "which conversation does this
+        request belong to", it goes through here.
+        """
+        return self.session_id
+
+    def sharing_identity(self) -> Optional[tuple]:
+        """Prefix-sharing namespace, or None if nothing is shareable.
+
+        Returns ``((kind, id), limit)`` where ``limit`` bounds the
+        shareable token span (None = the whole context, for session
+        turns that re-feed prior history verbatim; ``prefix_len`` for
+        shared-prompt groups).  The simulator has no token content, so
+        block "content hashes" are modelled as ``(namespace, index)``
+        positions within this namespace — see
+        :mod:`repro.memory.blocktable`.
+        """
+        if self.session_id is not None:
+            return (("sess", self.session_id), None)
+        if self.prefix_group is not None:
+            return (("grp", self.prefix_group), self.prefix_len)
+        return None
 
     # --- lifecycle ------------------------------------------------------
     def transition(self, new_state: RequestState) -> None:
@@ -183,6 +229,8 @@ def clone_requests(requests) -> list:
             rate=r.rate,
             is_agent=r.is_agent,
             session_id=r.session_id,
+            prefix_group=r.prefix_group,
+            prefix_len=r.prefix_len,
         )
         for r in requests
     ]

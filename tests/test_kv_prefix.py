@@ -1,0 +1,324 @@
+"""Prefix-sharing KV allocator: unit behaviour + naive-mode parity.
+
+Covers the :mod:`repro.memory.blocktable` lifecycle (reference reuse,
+cache promotion, copy-on-write forks, refcount-aware eviction) through
+the ``HierarchicalKVManager`` API, the identity plumbing on
+``Request``, the counters surfaced through ``RunReport.kv_stats``, and
+the bit-identity guarantee: the default ``kv_allocator="naive"`` runs
+every existing registry scenario exactly as before (the full-registry
+sweep is slow-marked; a representative subset runs in the fast lane).
+"""
+
+import pytest
+
+from repro.memory.blocktable import SHARED_OWNER
+from repro.memory.kv_manager import HierarchicalKVManager, KVManagerConfig
+from repro.scenarios import build_run, get_scenario
+from repro.scenarios.registry import scenario_names
+from repro.serving.metrics import report_fingerprint
+from repro.sim.engine import SimEngine
+from repro.workload.request import Request, clone_requests
+
+
+def make_kv(allocator="prefix_cow", capacity=64, **cfg):
+    cfg.setdefault("cpu_capacity_blocks", 4096)
+    config = KVManagerConfig(kv_allocator=allocator, **cfg)
+    return HierarchicalKVManager(
+        SimEngine(), capacity, kv_bytes_per_token=1000.0,
+        pcie_bandwidth_bytes_per_s=1e9, config=config,
+    )
+
+
+def make_request(req_id, prompt, session=None, group=None, prefix_len=0):
+    return Request(
+        req_id=req_id, arrival_time=0.0, prompt_len=prompt, output_len=8,
+        rate=10.0, session_id=session, prefix_group=group,
+        prefix_len=prefix_len,
+    )
+
+
+class TestRequestIdentity:
+    def test_affinity_key_is_session_id(self):
+        assert make_request(0, 64, session=7).affinity_key == 7
+        assert make_request(0, 64).affinity_key is None
+
+    def test_sharing_identity_kinds(self):
+        assert make_request(0, 64, session=3).sharing_identity() == (
+            ("sess", 3), None
+        )
+        assert make_request(0, 64, group=5, prefix_len=48).sharing_identity() \
+            == (("grp", 5), 48)
+        assert make_request(0, 64).sharing_identity() is None
+
+    def test_prefix_field_validation(self):
+        with pytest.raises(ValueError, match="prefix_len"):
+            make_request(0, 64, group=1)  # group without a length
+        with pytest.raises(ValueError, match="exceeds prompt_len"):
+            make_request(0, 64, group=1, prefix_len=65)
+        with pytest.raises(ValueError, match="non-negative"):
+            Request(req_id=0, arrival_time=0.0, prompt_len=8, output_len=1,
+                    rate=1.0, prefix_len=-1)
+
+    def test_clone_preserves_prefix_fields(self):
+        original = make_request(4, 128, group=2, prefix_len=100)
+        clone = clone_requests([original])[0]
+        assert clone.prefix_group == 2 and clone.prefix_len == 100
+        assert clone.sharing_identity() == original.sharing_identity()
+
+
+class TestAllocatorConfig:
+    def test_naive_default_has_no_table(self):
+        kv = make_kv(allocator="naive")
+        assert kv.prefix is None
+        assert "prefix_lookups" not in kv.stats
+
+    def test_prefix_cow_seeds_counters(self):
+        kv = make_kv()
+        assert kv.prefix is not None
+        assert kv.stats["prefix_lookups"] == 0
+        assert kv.stats["cow_forks"] == 0
+
+    def test_unknown_allocator_rejected(self):
+        with pytest.raises(ValueError, match="kv_allocator"):
+            make_kv(allocator="buddy")
+        with pytest.raises(ValueError, match="kv_allocator"):
+            get_scenario("table1-h200-a").with_overrides(kv_allocator="buddy")
+
+    def test_naive_ignores_identity(self):
+        kv = make_kv(allocator="naive")
+        kv.register(0, make_request(0, 160, session=1))
+        kv.allocate_for_prefill(0, 160)
+        kv.on_prefill_complete(0, 160)
+        assert kv.record(0).shared_blocks == 0
+        kv.check_invariants()
+
+
+class TestSessionReuse:
+    """Sequential session turns: donate at finish, reuse on the next."""
+
+    def test_turn_two_maps_history_onto_cached_blocks(self):
+        kv = make_kv()
+        kv.register(0, make_request(0, 160, session=7))
+        kv.allocate_for_prefill(0, 160)          # 10 blocks
+        kv.on_prefill_complete(0, 160)
+        for _ in range(8):
+            kv.on_decode_token(0)                # context now 168
+        kv.check_invariants()
+        kv.release(0)
+        # The whole 168-token chain (10 full + 1 partial) is donated.
+        assert kv.prefix.evictable_blocks == 11
+        assert kv.gpu_pool.used_by(SHARED_OWNER) == 11
+        allocated_before = kv.gpu_pool.total_allocated
+
+        # Turn 2 re-feeds the 168 tokens plus a fresh 12-token message.
+        kv.register(1, make_request(1, 180, session=7))
+        kv.allocate_for_prefill(1, 180)
+        record = kv.record(1)
+        assert record.shared_blocks == 10        # full blocks referenced
+        assert kv.stats["cache_promotes"] == 1   # the partial tail taken over
+        # 12 blocks cover 180 tokens; 10 shared + 1 promoted -> 1 fresh.
+        assert kv.gpu_pool.total_allocated - allocated_before == 1
+        kv.on_prefill_complete(1, 180)
+        assert record.shared_blocks == 12        # newly published span
+        kv.check_invariants()
+
+    def test_savings_counters_track_reuse(self):
+        kv = make_kv()
+        kv.register(0, make_request(0, 160, session=7))
+        kv.allocate_for_prefill(0, 160)
+        kv.on_prefill_complete(0, 160)
+        kv.release(0)
+        kv.register(1, make_request(1, 200, session=7))
+        kv.allocate_for_prefill(1, 200)
+        stats = kv.stats
+        assert stats["prefix_hits"] == 1
+        assert stats["prefix_lookups"] == 2
+        assert stats["prefix_tokens_reused"] == 160
+        assert stats["prefix_blocks_saved"] == 10
+
+
+class TestLiveSharingAndForks:
+    """Concurrent namespace members: publish at prefill-complete."""
+
+    def test_concurrent_group_member_forks_partial_tail(self):
+        kv = make_kv()
+        kv.register(0, make_request(0, 100, group=1, prefix_len=90))
+        kv.allocate_for_prefill(0, 100)
+        kv.on_prefill_complete(0, 100)           # publishes 5 full + fill-10 tail
+        kv.register(1, make_request(1, 105, group=1, prefix_len=90))
+        kv.allocate_for_prefill(1, 105)
+        record = kv.record(1)
+        assert record.shared_blocks == 5         # 80 tokens shared live
+        assert kv.stats["cow_forks"] == 1        # the live partial was copied
+        kv.on_prefill_complete(1, 105)
+        kv.check_invariants()
+        # Shared blocks free only when the *last* owner retires.
+        kv.release(0)
+        assert kv.gpu_pool.used_by(SHARED_OWNER) >= 5
+        assert kv.prefix.index  # chain still referenced by request 1
+        kv.release(1)
+        kv.check_invariants()
+
+    def test_sharing_is_limited_to_prefix_len(self):
+        kv = make_kv()
+        kv.register(0, make_request(0, 160, group=1, prefix_len=64))
+        kv.allocate_for_prefill(0, 160)
+        kv.on_prefill_complete(0, 160)
+        # Only 4 blocks (64 tokens) are ever published for the group.
+        assert kv.gpu_pool.used_by(SHARED_OWNER) == 4
+        kv.register(1, make_request(1, 160, group=1, prefix_len=64))
+        kv.allocate_for_prefill(1, 160)
+        assert kv.record(1).shared_blocks == 4
+
+
+class TestRefcountEviction:
+    def test_cached_blocks_are_reclaimed_under_pressure(self):
+        kv = make_kv(capacity=12)
+        kv.register(0, make_request(0, 112, session=1))
+        kv.allocate_for_prefill(0, 112)          # 7 blocks
+        kv.on_prefill_complete(0, 112)
+        kv.release(0)
+        assert kv.prefix.evictable_blocks == 7
+        assert kv.gpu_free_blocks() == 12        # cached counts as free
+        # An unrelated request needs 7 blocks; only 5 are truly free.
+        kv.register(1, make_request(1, 112))
+        kv.allocate_for_prefill(1, 112)
+        assert kv.stats["prefix_evictions"] == 2
+        assert kv.prefix.evictable_blocks == 5
+        kv.check_invariants()
+
+    def test_referenced_blocks_are_never_reclaimed(self):
+        kv = make_kv(capacity=16)
+        kv.register(0, make_request(0, 112, session=1))
+        kv.allocate_for_prefill(0, 112)
+        kv.on_prefill_complete(0, 112)           # 7 published, all refs=1
+        assert kv.prefix.evictable_blocks == 0
+        assert kv.prefix.reclaim(100) == 0       # nothing evictable
+        assert kv.gpu_pool.used_by(SHARED_OWNER) == 7
+
+    def test_preempt_detaches_references(self):
+        kv = make_kv()
+        kv.register(0, make_request(0, 160, session=1))
+        kv.allocate_for_prefill(0, 160)
+        kv.on_prefill_complete(0, 160)
+        kv.release(0)
+        kv.register(1, make_request(1, 180, session=1))
+        kv.allocate_for_prefill(1, 180)
+        kv.on_prefill_complete(1, 180)
+        assert kv.record(1).shared_blocks > 0
+        kv.preempt(1, now=0.0)
+        assert kv.record(1).shared_blocks == 0
+        kv.engine.run(until=1e9)                 # flush deferred frees
+        kv.check_invariants()
+        # A recompute resume attaches (and hits) again.
+        kv.prepare_recompute(1)
+        kv.allocate_for_prefill(1, 180)
+        assert kv.record(1).shared_blocks > 0
+        kv.on_prefill_complete(1, 180)
+        kv.check_invariants()
+
+
+class TestScenarioCounters:
+    def test_prefix_heavy_agents_reports_savings(self):
+        report = build_run(get_scenario("prefix-heavy-agents", scale=0.25)).execute()
+        stats = report.kv_stats
+        assert stats["prefix_hits"] > 0
+        saved = stats["prefix_blocks_saved"]
+        ratio = saved / (saved + stats["gpu_blocks_allocated"])
+        assert ratio >= 0.30, f"GPU-block savings {ratio:.1%} below 30%"
+
+    def test_rag_replay_exercises_cow_forks(self):
+        report = build_run(get_scenario("rag-replay", scale=0.25)).execute()
+        assert report.kv_stats["cow_forks"] > 0
+        assert report.kv_stats["prefix_hits"] > 0
+
+    def test_naive_runs_omit_prefix_counters(self):
+        report = build_run(get_scenario("table1-h200-a", scale=0.05)).execute()
+        assert "prefix_hits" not in report.kv_stats
+        assert report.kv_stats["gpu_blocks_allocated"] > 0
+        assert report.kv_stats["gpu_peak_blocks"] > 0
+
+    def test_prefix_cow_allocates_fewer_blocks(self):
+        # Peak pool *residency* can be higher under prefix_cow (warm
+        # cached blocks stay pool-owned until reclaimed), so the
+        # savings claim is about fresh allocations, not peak.
+        spec = get_scenario("prefix-heavy-agents", scale=0.25)
+        prefix = build_run(spec).execute().kv_stats
+        naive = build_run(spec.with_overrides(kv_allocator="naive")).execute().kv_stats
+        assert prefix["gpu_blocks_allocated"] < naive["gpu_blocks_allocated"]
+
+
+# --- naive-mode parity ---------------------------------------------------------
+
+def _fingerprint(spec):
+    report = build_run(spec).execute()
+    if spec.replicas > 1:
+        per_request = tuple(sorted(
+            (m.req_id, m.ttft, m.finish_time, m.generated, m.stall_time,
+             m.effective_tokens, m.preemptions)
+            for instance in report.per_instance
+            for m in instance.per_request
+        ))
+        return (report.n_requests, report.total_tokens, report.throughput,
+                report.effective_throughput, report.qos, report.ttft_mean,
+                report.ttft_p99, report.stall_total, report.preemptions,
+                per_request)
+    return report_fingerprint(report)
+
+
+PARITY_CELLS_FAST = [
+    ("table1-h200-a", 0.10),
+    ("tab02-tokenflow", 0.10),
+    ("cluster-burst-4x", 0.25),
+]
+
+_PARITY_SCALES = {
+    "soak-steady": 0.002,
+    "soak-diurnal": 0.002,
+    "cluster-soak-64x": 0.02,
+    "bursty-sessions": 0.25,
+    "cluster-burst-4x": 0.25,
+    "prefix-heavy-agents": 0.25,
+    "rag-replay": 0.25,
+}
+
+
+@pytest.mark.parametrize("name,scale", PARITY_CELLS_FAST)
+def test_naive_override_is_default(name, scale):
+    """`kv_allocator="naive"` is the default: explicit override is a no-op."""
+    spec = get_scenario(name, scale=scale)
+    assert spec.kv_allocator == "naive"
+    assert _fingerprint(spec) == _fingerprint(
+        spec.with_overrides(kv_allocator="naive")
+    )
+
+
+@pytest.mark.parametrize("name,scale", [("table1-h200-a", 0.10),
+                                        ("tab02-tokenflow", 0.10)])
+def test_prefix_cow_is_bit_identical_without_identities(name, scale):
+    """With no session/group identities nothing attaches, so the
+    prefix allocator's arithmetic is an additive no-op — reports are
+    bit-identical, not merely close."""
+    spec = get_scenario(name, scale=scale)
+    assert _fingerprint(spec) == _fingerprint(
+        spec.with_overrides(kv_allocator="prefix_cow")
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", scenario_names())
+def test_registry_wide_naive_parity(name):
+    """Every registry scenario is bit-identical under an explicit
+    `kv_allocator="naive"` override (for the prefix-native scenarios
+    the override *changes* the allocator, so those assert determinism
+    of their own default instead)."""
+    scale = _PARITY_SCALES.get(name, 0.10)
+    spec = get_scenario(name, scale=scale)
+    if spec.kv_allocator == "naive":
+        assert _fingerprint(spec) == _fingerprint(
+            spec.with_overrides(kv_allocator="naive")
+        )
+    else:
+        assert _fingerprint(spec) == _fingerprint(spec)
+        # The naive allocator must still run the workload to completion.
+        build_run(spec.with_overrides(kv_allocator="naive")).execute()
