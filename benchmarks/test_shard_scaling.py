@@ -14,8 +14,16 @@ transport, warm worker pool), asserting
   what the coordination protocol (ladder messages, pickling, queue
   round-trips) costs.
 
-Emits ``benchmarks/BENCH_shard.json`` so the trajectory guard in
-``tests/test_perf_trajectory.py`` can watch the committed figure.
+A second block measures the **speculative dispatch** acceptance point:
+``least_loaded`` over K=4 shards, speculation on vs off.  Off pays one
+blocking pause round per stateful dispatch (the pre-speculation
+protocol); on resolves arrivals against the trajectory-snapshot mirror
+and must cut coordination rounds at least 5x with bit-identical
+reports.  Both figures land in the artifact's ``speculation`` block
+and append to its ``history`` trajectory.
+
+Emits ``benchmarks/BENCH_shard.json`` so the trajectory guards in
+``tests/test_perf_trajectory.py`` can watch the committed figures.
 
 Run just this harness with::
 
@@ -52,27 +60,43 @@ MAX_OVERHEAD = 1.15
 BENCH_PATH = Path(__file__).resolve().parent / "BENCH_shard.json"
 
 
-def _timed_run(shards=None):
+def _timed_run(shards=None, router=None, speculation=True):
     """Execute one soak run; ``shards=None`` is the classic baseline.
 
     ``build_run`` only builds a sharded target for ``spec.shards > 1``,
     so K=1 (the pure-protocol-overhead point) is rebuilt from the K=2
     target's own configs and picklable scheduler recipe.
     """
-    spec = get_scenario(
-        SCENARIO, scale=SCALE, seed=SEED,
-        shards=1 if shards is None else max(shards, 2),
-    )
+    overrides = {"shards": 1 if shards is None else max(shards, 2)}
+    if router is not None:
+        overrides["router"] = router
+    spec = get_scenario(SCENARIO, scale=SCALE, seed=SEED, **overrides)
     run = build_run(spec)
     if shards is not None:
         run.target = ShardedServingCluster(
             run.target.configs, run.target.scheduler_factory,
             router=spec.router, shards=shards, transport="process",
+            speculation=speculation,
         )
     t0 = time.perf_counter()
     report = run.execute()
     wall = time.perf_counter() - t0
     return run.target, report, wall
+
+
+def _load_history():
+    """Prior rounds/messages trajectory from the committed artifact.
+
+    Artifacts written before speculative dispatch carry no history;
+    their pause-round protocol point is reconstructed by the caller so
+    the trajectory starts at the pre-speculation figure.
+    """
+    if not BENCH_PATH.exists():
+        return []
+    try:
+        return list(json.loads(BENCH_PATH.read_text()).get("history", []))
+    except (ValueError, OSError):
+        return []
 
 
 def test_shard_scaling_soak64():
@@ -101,6 +125,51 @@ def test_shard_scaling_soak64():
             "shard_events": target.shard_events,
         })
 
+    # --- speculative dispatch: rounds/messages trajectory -------------
+    # The stateful-router acceptance point: least_loaded over K=4
+    # shards, speculation on vs off (off = the pause-round protocol,
+    # one blocking gather per stateful dispatch).  Counts are
+    # deterministic, so this gate never needs the wall-clock skip.
+    classic_ll_target, classic_ll_report, _ = _timed_run(router="least_loaded")
+    ll_baseline_fp = deep_fp(classic_ll_target, classic_ll_report)
+    spec_on, spec_on_report, _ = _timed_run(
+        shards=4, router="least_loaded", speculation=True
+    )
+    assert deep_fp(spec_on, spec_on_report) == ll_baseline_fp, (
+        "speculative least_loaded K=4 run diverged from the classic report"
+    )
+    spec_off, spec_off_report, _ = _timed_run(
+        shards=4, router="least_loaded", speculation=False
+    )
+    assert deep_fp(spec_off, spec_off_report) == ll_baseline_fp, (
+        "speculation-off least_loaded K=4 run diverged from the classic report"
+    )
+    reduction = spec_off.coordination_rounds / max(spec_on.coordination_rounds, 1)
+    assert reduction >= 5.0, (
+        f"speculative dispatch cut rounds only {reduction:.1f}x "
+        f"({spec_off.coordination_rounds} -> {spec_on.coordination_rounds}); "
+        f"the acceptance gate is >= 5x"
+    )
+
+    history = _load_history()
+    if not history:
+        history.append({
+            "coordination_rounds": spec_off.coordination_rounds,
+            "messages_sent": spec_off.messages_sent,
+            "speculation_hits": 0,
+            "speculation_misses": 0,
+            "reduction": 1.0,
+            "notes": "pause-round protocol (pre-speculation, reconstructed)",
+        })
+    history.append({
+        "coordination_rounds": spec_on.coordination_rounds,
+        "messages_sent": spec_on.messages_sent,
+        "speculation_hits": spec_on.speculation_hits,
+        "speculation_misses": spec_on.speculation_misses,
+        "reduction": round(reduction, 2),
+        "notes": "speculative dispatch (trajectory-snapshot mirror)",
+    })
+
     best = min(rows, key=lambda row: row["wall_s"])
     payload = {
         "workload": {
@@ -114,9 +183,25 @@ def test_shard_scaling_soak64():
         "shards": rows,
         "best": {"shards": best["shards"], "overhead": best["overhead"]},
         "gate": f"best sharded wall <= {MAX_OVERHEAD}x classic wall",
+        "speculation": {
+            "router": "least_loaded",
+            "shards": 4,
+            "stateful_dispatches": spec_off.coordination_rounds,
+            "coordination_rounds": spec_on.coordination_rounds,
+            "coordination_rounds_speculation_off": spec_off.coordination_rounds,
+            "messages_sent": spec_on.messages_sent,
+            "messages_sent_speculation_off": spec_off.messages_sent,
+            "speculation_hits": spec_on.speculation_hits,
+            "speculation_misses": spec_on.speculation_misses,
+            "reduction": round(reduction, 2),
+            "gate": "rounds reduced >= 5x vs the pause-round protocol",
+        },
+        "history": history,
         "notes": (
             "process transport, warm pool, round_robin ladder; parity "
-            "asserted bit-identical against the classic cluster"
+            "asserted bit-identical against the classic cluster; "
+            "speculation block: least_loaded K=4, trajectory-snapshot "
+            "mirror vs pause-round protocol, both parity-asserted"
         ),
     }
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
@@ -132,6 +217,14 @@ def test_shard_scaling_soak64():
             f"({row['overhead']:.2f}x) rounds={row['coordination_rounds']} "
             f"msgs={row['messages_sent']} events={row['shard_events']}"
         )
+    lines.append(
+        f"  speculation (least_loaded, K=4): "
+        f"rounds {spec_off.coordination_rounds} -> "
+        f"{spec_on.coordination_rounds} ({reduction:.1f}x), "
+        f"msgs {spec_off.messages_sent} -> {spec_on.messages_sent}, "
+        f"hits={spec_on.speculation_hits} "
+        f"misses={spec_on.speculation_misses}"
+    )
     lines.append(f"  artifact -> {BENCH_PATH.name}")
     emit("\n".join(lines))
 

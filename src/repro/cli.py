@@ -270,6 +270,18 @@ def _report_json_payload(spec, run, report) -> dict:
         payload["cluster"] = report_to_dict(
             report.aggregate, include_requests=False
         )
+        if spec.shards > 1:
+            # Sharded-plane coordination accounting: the observable
+            # form of the speculative-dispatch win (rounds collapse,
+            # hits climb) rather than something to infer from wall
+            # clocks.
+            payload["scenario"]["speculation"] = spec.speculation
+            payload["coordination"] = {
+                "coordination_rounds": report.coordination_rounds,
+                "messages_sent": report.messages_sent,
+                "speculation_hits": report.speculation_hits,
+                "speculation_misses": report.speculation_misses,
+            }
         payload["placement_counts"] = run.target.placement_counts()
         payload["per_instance"] = [
             report_to_dict(node, include_requests=False)
@@ -290,6 +302,8 @@ def cmd_run(args) -> int:
         overrides["system"] = args.system
     if args.shards is not None:
         overrides["shards"] = args.shards
+    if args.speculation is not None:
+        overrides["speculation"] = args.speculation == "on"
     if args.horizon is not None:
         overrides["horizon"] = args.horizon
     if args.kv_allocator is not None:
@@ -455,6 +469,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "(>1 partitions the replicas across shard "
                             "processes; reports stay bit-identical, "
                             "1 keeps the single-process path)")
+    run_p.add_argument("--speculation", choices=("on", "off"), default=None,
+                       help="speculative dispatch for sharded cluster "
+                            "runs (default on; 'off' forces a pause "
+                            "round per stateful dispatch — placements "
+                            "and reports are bit-identical either way)")
     run_p.add_argument("--horizon", type=float, default=None,
                        help="override the simulation safety horizon (s)")
     run_p.add_argument("--kv-allocator", dest="kv_allocator",

@@ -90,6 +90,34 @@ def pool_workers() -> int:
     return _pool_workers if _pool is not None else 0
 
 
+# --- message batching ---------------------------------------------------
+#
+# Manager-queue puts pay one proxy round-trip (pickle + socket) each.
+# Protocol steps that emit several messages to the same worker
+# back-to-back (a sharded coordination round flushes buffered
+# placements and then pauses, in one breath) fold them into a single
+# envelope so the queue is touched once per worker per round.
+
+BATCH_KIND = "batch"
+
+
+def pack_messages(msgs: list):
+    """Fold ``msgs`` into one queue payload (unwrapped single message,
+    or a ``(BATCH_KIND, msgs)`` envelope for more than one)."""
+    if len(msgs) == 1:
+        return msgs[0]
+    return (BATCH_KIND, list(msgs))
+
+
+def iter_messages(payload):
+    """Yield the protocol messages inside one queue payload."""
+    if payload and payload[0] == BATCH_KIND:
+        for msg in payload[1]:
+            yield msg
+    else:
+        yield payload
+
+
 def reset_pool() -> None:
     """Tear down the warm pool and manager.
 

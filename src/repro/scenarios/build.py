@@ -173,7 +173,8 @@ def build_run(spec: ScenarioSpec, requests: Optional[list] = None) -> ScenarioRu
         from repro.serving.shard import ShardedServingCluster
 
         cluster = ShardedServingCluster(
-            configs, scheduler_factory, router=router, shards=spec.shards
+            configs, scheduler_factory, router=router, shards=spec.shards,
+            speculation=spec.speculation,
         )
         return ScenarioRun(spec=spec, target=cluster, requests=requests)
     cluster = ServingCluster(configs, scheduler_factory, router=router)

@@ -42,6 +42,13 @@ class ScenarioSpec:
             :class:`~repro.serving.shard.ShardedServingCluster`
             (bit-identical reports, parallel replica simulation).
             Clamped to ``replicas``; ignored when ``replicas == 1``.
+        speculation: speculative dispatch in sharded runs (see
+            :class:`~repro.serving.shard.ShardedServingCluster`):
+            trajectory-snapshot mirroring that collapses stateful-router
+            coordination rounds.  ``False`` forces the pause-round
+            protocol on every stateful dispatch (the pre-speculation
+            behaviour); placements and reports are bit-identical either
+            way.  Ignored when ``shards == 1``.
         seed: root RNG seed for the workload.
         scale: workload scale factor (scenario builders shrink crowd
             sizes / horizons proportionally, like the experiments).
@@ -87,6 +94,7 @@ class ScenarioSpec:
     replicas: int = 1
     router: Union[str, Router] = "least_loaded"
     shards: int = 1
+    speculation: bool = True
     seed: int = 0
     scale: float = 1.0
     horizon: float = 50_000.0

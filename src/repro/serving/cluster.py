@@ -57,6 +57,16 @@ class ClusterReport:
     ttft_p99: float = 0.0
     stall_total: float = 0.0
     preemptions: int = 0
+    # Sharded-plane coordination accounting (zero for the classic
+    # shared-engine cluster, which has no coordination to count):
+    # blocking metric-gather rounds, protocol messages, and speculative
+    # dispatch outcomes (see serving/shard.py).  Deliberately excluded
+    # from parity fingerprints — they describe the *execution*, not the
+    # simulated system, and legitimately vary across shard counts.
+    coordination_rounds: int = 0
+    messages_sent: int = 0
+    speculation_hits: int = 0
+    speculation_misses: int = 0
 
 
 class ServingCluster:

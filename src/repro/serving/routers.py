@@ -26,6 +26,43 @@ from __future__ import annotations
 import abc
 from typing import Dict, List, Optional, Sequence, Type, Union
 
+from repro.workload.request import RequestState
+
+_INF = float("inf")
+
+
+def _decode_floor(instance) -> float:
+    """A hard lower bound on one decode iteration of ``instance``.
+
+    Every decode step streams at least the full weight matrix and pays
+    the per-iteration launch overhead
+    (:meth:`~repro.gpu.latency.LatencyModel.decode_step_time_from_total`
+    is ``max(mem_time, compute_time) + overhead`` with ``mem_time >=
+    weights / bandwidth``), so no token — and therefore no request
+    completion — can arrive faster than this per remaining token.
+    """
+    latency = instance.latency
+    return (
+        latency.model.weight_bytes / latency.hardware.effective_mem_bandwidth
+        + latency.hardware.iteration_overhead_s
+    )
+
+
+def _decode_tokens_left(request) -> int:
+    """Decode iterations still separating ``request`` from finishing.
+
+    The *first* output token is emitted by prefill completion, not by a
+    decode iteration, so a request that has not generated yet needs one
+    fewer decode step than its remaining token count (zero for
+    ``output_len == 1`` — such a request can finish on the heels of a
+    prefill, faster than any decode-floor bound, and must contribute a
+    zero-width quiet window).
+    """
+    remaining = request.output_len - request.generated
+    if request.generated == 0:
+        remaining -= 1
+    return remaining
+
 
 class Router(abc.ABC):
     """Dispatch policy: pick the instance index for each arrival.
@@ -53,6 +90,17 @@ class Router(abc.ABC):
     #: Whether this policy supports the metrics/selection split that
     #: sharded execution requires.  Built-in policies set this True.
     shardable: bool = False
+
+    #: Whether this policy additionally supports *speculative dispatch*
+    #: in the sharded plane: trajectory snapshots
+    #: (:meth:`instance_snapshot`) whose declared staleness horizon
+    #: proves the mirrored metric exact, so the coordinator can resolve
+    #: whole epochs of arrivals without a coordination round.  A policy
+    #: whose metric can move on events the snapshot cannot bound (e.g.
+    #: ``buffer_aware``'s continuous-time deficit, ``least_queued``'s
+    #: prefill-completion decrements) must leave this False and stays
+    #: on the always-correct pause-round path.
+    speculative: bool = False
 
     @abc.abstractmethod
     def select(self, instances: Sequence, request) -> int:
@@ -97,6 +145,60 @@ class Router(abc.ABC):
         else:
             metrics = None
         return self.select_from_metrics(len(instances), metrics, request)
+
+    # --- speculative dispatch (sharded plane) -----------------------------
+    #
+    # A *trajectory snapshot* is a small picklable record, taken where
+    # the instance lives at a pause instant, that lets the coordinator
+    # evolve the routing metric forward in simulated time without
+    # talking to the shard again: the snapshot carries the metric's
+    # current value, the one already-scheduled completion event that
+    # can change it (time + how many requests finish there), and an
+    # *exactness horizon* before which no other change is possible.
+    # The coordinator folds every confirmed placement back into its
+    # mirror (:meth:`fold_snapshot`), so arrivals inside the horizon
+    # resolve against provably exact values — speculation that cannot
+    # miss — while the first arrival past any horizon falls back to an
+    # authoritative round that also refreshes the mirror.
+
+    def instance_snapshot(self, instance, request):
+        """Trajectory snapshot of one instance at the current instant.
+
+        Returned records are opaque to the coordinator: only
+        :meth:`snapshot_metric` / :meth:`snapshot_fresh` /
+        :meth:`fold_snapshot` interpret them.  Must be picklable.
+        """
+        raise NotImplementedError(
+            f"router {self.name!r} does not implement trajectory "
+            f"snapshots (Router.speculative)"
+        )
+
+    def snapshot_metric(self, snap, t: float):
+        """Evolve ``snap`` to instant ``t`` and return the metric.
+
+        Only valid while ``snapshot_fresh(snap, t)`` holds; the value
+        must then equal what :meth:`instance_metrics` would measure on
+        the live instance at ``t``.
+        """
+        raise NotImplementedError
+
+    def snapshot_fresh(self, snap, t: float) -> bool:
+        """Whether ``snap`` is provably exact at instant ``t``."""
+        raise NotImplementedError
+
+    def fold_snapshot(self, snap, t: float, request) -> None:
+        """Account a confirmed placement of ``request`` at ``t`` on
+        the instance ``snap`` mirrors (metric bump + horizon clamp)."""
+        raise NotImplementedError
+
+    def peek_from_metrics(self, n: int, metrics: List, request) -> int:
+        """Side-effect-free preview of :meth:`select_from_metrics`.
+
+        Used on the stale-mirror path to form the speculative pick that
+        the authoritative round then validates; it must not mutate
+        router state (the real selection still runs afterwards).
+        """
+        raise NotImplementedError
 
 
 ROUTERS: Dict[str, Type[Router]] = {}
@@ -143,10 +245,24 @@ class RoundRobinRouter(Router):
 
 @register_router
 class LeastLoadedRouter(Router):
-    """Fewest unfinished requests (admitted or not)."""
+    """Fewest unfinished requests (admitted or not).
+
+    The ``unfinished`` metric moves on exactly two event kinds —
+    dispatches (+1, which the coordinator itself confirms and folds)
+    and request finishes (−1) — and every finish is attached to an
+    executor completion event the instance has *already scheduled*.
+    That makes the metric's short-term trajectory fully predictable,
+    so this router implements the speculative-dispatch snapshot
+    protocol: ``[value, next_completion, finishers, horizon, floor]``,
+    where ``horizon`` is a proven lower bound on the first instant any
+    *other* finish could land (every surviving resident still needs
+    ``_decode_tokens_left`` iterations of at least ``_decode_floor``
+    seconds each, serialized behind the in-flight event).
+    """
 
     name = "least_loaded"
     shardable = True
+    speculative = True
 
     def instance_metrics(self, instance, request) -> int:
         return instance.unfinished
@@ -154,8 +270,77 @@ class LeastLoadedRouter(Router):
     def select_from_metrics(self, n: int, metrics: Optional[List], request) -> int:
         return min(range(n), key=lambda i: metrics[i])
 
+    def peek_from_metrics(self, n: int, metrics: List, request) -> int:
+        return min(range(n), key=lambda i: metrics[i])
+
     def select(self, instances: Sequence, request) -> int:
         return self._select_via_metrics(instances, request)
+
+    def instance_snapshot(self, instance, request):
+        t = instance.engine.now()
+        floor = _decode_floor(instance)
+        value = instance.unfinished
+        queues = (instance.running, instance.waiting, instance.prefill_queue,
+                  instance.preempted, instance.loading)
+        inflight = instance.decode_stream.inflight if instance._busy else None
+        if inflight is None or inflight[1] < t:
+            if instance._busy:
+                # Busy without a usable descriptor: refuse to promise
+                # anything (zero-width window, always stale).
+                return [value, None, 0, t, floor]
+            remaining = [_decode_tokens_left(r) for q in queues for r in q]
+            horizon = t + min(remaining) * floor if remaining else _INF
+            return [value, None, 0, horizon, floor]
+        kind, end, payload = inflight
+        finishers = 0
+        survivors: list = []
+        covered = set()
+        if kind == "prefill":
+            # Entries reaching their full context at ``end`` promote
+            # and emit their first token there — which finishes them
+            # outright when output_len == 1.
+            for r, chunk in payload:
+                if (r.state is RequestState.PREFILLING
+                        and r.prefill_progress + chunk >= r.context_len):
+                    covered.add(id(r))
+                    if r.generated == 0 and r.output_len <= 1:
+                        finishers += 1
+                    else:
+                        survivors.append(_decode_tokens_left(r))
+        else:
+            batch, k = (payload, 1) if kind == "decode" else payload
+            # Each batch member gains k tokens by ``end``; the fusion
+            # planner guarantees none finishes strictly earlier.
+            for r in batch:
+                covered.add(id(r))
+                rem = r.output_len - r.generated
+                if rem <= k:
+                    finishers += 1
+                else:
+                    survivors.append(rem - k)
+        for q in queues:
+            for r in q:
+                if id(r) not in covered:
+                    survivors.append(_decode_tokens_left(r))
+        horizon = end + min(survivors) * floor if survivors else _INF
+        return [value, end, finishers, horizon, floor]
+
+    def snapshot_metric(self, snap, t: float):
+        if snap[1] is not None and snap[1] < t:
+            # The known completion event has fired (strictly before t:
+            # same-instant dispatches run ahead of instance events).
+            snap[0] -= snap[2]
+            snap[1] = None
+        return snap[0]
+
+    def snapshot_fresh(self, snap, t: float) -> bool:
+        return t < snap[3]
+
+    def fold_snapshot(self, snap, t: float, request) -> None:
+        snap[0] += 1
+        bound = t + _decode_tokens_left(request) * snap[4]
+        if bound < snap[3]:
+            snap[3] = bound
 
 
 @register_router
@@ -248,8 +433,11 @@ class SessionAffinityRouter(Router):
     def __init__(self, base: Union[str, Router] = "least_loaded") -> None:
         self.base = make_router(base)
         # Sharded execution delegates the metric split to the base
-        # policy, so stickiness is only shardable if the base is.
+        # policy, so stickiness is only shardable if the base is; the
+        # same holds for the speculative-dispatch snapshot protocol
+        # (sticky hits are stateless and simply fold into the mirror).
         self.shardable = self.base.shardable
+        self.speculative = self.base.speculative
         self.assignments: Dict[int, int] = {}
 
     def needs_state(self, request) -> bool:
@@ -273,6 +461,28 @@ class SessionAffinityRouter(Router):
             idx = self.base.select_from_metrics(n, metrics, request)
             self.assignments[session] = idx
         return idx
+
+    def peek_from_metrics(self, n: int, metrics: List, request) -> int:
+        # Preview only: a fresh session must NOT be recorded here — the
+        # authoritative selection that follows does the assignment.
+        session = request.affinity_key
+        if session is not None:
+            idx = self.assignments.get(session)
+            if idx is not None:
+                return idx
+        return self.base.peek_from_metrics(n, metrics, request)
+
+    def instance_snapshot(self, instance, request):
+        return self.base.instance_snapshot(instance, request)
+
+    def snapshot_metric(self, snap, t: float):
+        return self.base.snapshot_metric(snap, t)
+
+    def snapshot_fresh(self, snap, t: float) -> bool:
+        return self.base.snapshot_fresh(snap, t)
+
+    def fold_snapshot(self, snap, t: float, request) -> None:
+        self.base.fold_snapshot(snap, t, request)
 
     def select(self, instances: Sequence, request) -> int:
         return self._select_via_metrics(instances, request)

@@ -28,6 +28,22 @@ simulation:
   buffered; whole stretches of them collapse into one ``apply``
   message per shard, which is what keeps coordination overhead small
   at soak scale.
+* **Speculative dispatch** (``speculation=True``, the default) extends
+  that cheapness to stateful routers that implement the trajectory
+  snapshot protocol (``Router.speculative`` — ``least_loaded`` and
+  ``session_affinity`` over it).  Pause replies piggyback per-instance
+  *trajectory snapshots*: the metric's value, the one already-scheduled
+  completion event that can change it, and a proven exactness horizon.
+  The coordinator folds every confirmed placement into this mirrored
+  metrics table and resolves whole epochs of arrivals against it — one
+  gather, N selections replayed in arrival order — as long as every
+  instance's horizon covers the arrival; the first arrival past any
+  horizon takes a speculative pick from the stale mirror, then falls
+  back to an authoritative round that validates it (a mismatch is
+  rolled back by re-routing the still-undelivered request before any
+  shard sees it, so shards only ever observe confirmed placements and
+  bit-identity holds by construction).  See ARCHITECTURE.md ("Sharded
+  cluster plane") for the exactness argument.
 
 State crosses the process boundary as the picklable structures the
 streaming/vectorised planes already produce: ``ServingConfig`` slices
@@ -139,6 +155,20 @@ class ShardHost:
             for instance in self.instances
         ]
 
+    def snap(self, t: float, request):
+        """:meth:`pause` plus trajectory snapshots (speculation rounds).
+
+        The snapshots ride back on the same reply the metrics use —
+        the delta-metrics channel costs no extra messages.
+        """
+        self.engine.run_before(t, until=self.horizon)
+        metrics = []
+        snaps = []
+        for instance in self.instances:
+            metrics.append(self.router.instance_metrics(instance, request))
+            snaps.append(self.router.instance_snapshot(instance, request))
+        return metrics, snaps
+
     def finish(self):
         """Drain to the run horizon and hand the results back."""
         self.engine.run(until=self.horizon)
@@ -165,6 +195,10 @@ def _handle_message(host: ShardHost, msg: tuple):
     if kind == "pause":
         host.push_ladder(msg[3])
         return ("metrics", host.shard_id, host.pause(msg[1], msg[2]))
+    if kind == "snap":
+        host.push_ladder(msg[3])
+        metrics, snaps = host.snap(msg[1], msg[2])
+        return ("metrics", host.shard_id, metrics, snaps)
     if kind == "finish":
         host.push_ladder(msg[1])
         unfinished, reports, events = host.finish()
@@ -176,17 +210,20 @@ def _shard_worker_main(
     inbox, outbox, shard_id, configs, scheduler_factory, router, horizon
 ) -> bool:
     """Long-lived shard loop run as one warm-pool task per run."""
+    from repro.orchestration.pool import iter_messages
+
     try:
         host = ShardHost(shard_id, configs, scheduler_factory, router, horizon)
         while True:
-            msg = inbox.get()
-            if msg[0] == "stop":
-                return True
-            reply = _handle_message(host, msg)
-            if reply is not None:
-                outbox.put(reply)
-            if msg[0] == "finish":
-                return True
+            payload = inbox.get()
+            for msg in iter_messages(payload):
+                if msg[0] == "stop":
+                    return True
+                reply = _handle_message(host, msg)
+                if reply is not None:
+                    outbox.put(reply)
+                if msg[0] == "finish":
+                    return True
     except BaseException:
         try:
             outbox.put(("error", shard_id, traceback.format_exc()))
@@ -209,6 +246,10 @@ class _InlineTransport:
         reply = _handle_message(self.hosts[shard_id], msg)
         if reply is not None:
             self._replies.append(reply)
+
+    def send_many(self, shard_id: int, msgs: list) -> None:
+        for msg in msgs:
+            self.send(shard_id, msg)
 
     def gather(self, n: int) -> list:
         if len(self._replies) < n:
@@ -251,6 +292,14 @@ class _ProcessTransport:
 
     def send(self, shard_id: int, msg: tuple) -> None:
         self.inboxes[shard_id].put(msg)
+
+    def send_many(self, shard_id: int, msgs: list) -> None:
+        # One envelope, one manager-queue round-trip per shard per
+        # coordination round (see orchestration.pool message batching).
+        from repro.orchestration.pool import pack_messages
+
+        if msgs:
+            self.inboxes[shard_id].put(pack_messages(msgs))
 
     def gather(self, n: int) -> list:
         replies: list = []
@@ -316,6 +365,7 @@ class ShardedServingCluster:
         router: Optional[Union[str, Router]] = None,
         shards: int = 2,
         transport: Optional[str] = None,
+        speculation: bool = True,
     ) -> None:
         if not configs:
             raise ValueError("need at least one instance config")
@@ -366,9 +416,16 @@ class ShardedServingCluster:
         self._ran = False
         self._instance_reports: Optional[list] = None
         self._unfinished_final = 0
+        # Speculative dispatch (trajectory-snapshot mirror) — only
+        # effective for routers that opt in via Router.speculative;
+        # ``speculation=False`` reproduces the pre-speculation protocol
+        # (every stateful dispatch pays a pause round) exactly.
+        self.speculation = bool(speculation)
         # Coordination accounting (benchmarks read these after run()).
         self.coordination_rounds = 0
         self.messages_sent = 0
+        self.speculation_hits = 0
+        self.speculation_misses = 0
         self.shard_events: List[int] = []
 
     @classmethod
@@ -380,6 +437,7 @@ class ShardedServingCluster:
         router: Optional[Union[str, Router]] = None,
         shards: int = 2,
         transport: Optional[str] = None,
+        speculation: bool = True,
         **config_kwargs,
     ) -> "ShardedServingCluster":
         from repro.serving.config import ServingConfig
@@ -389,7 +447,7 @@ class ShardedServingCluster:
         configs = [ServingConfig(**config_kwargs) for _ in range(n_instances)]
         return cls(
             configs, scheduler_factory, dispatch=dispatch, router=router,
-            shards=shards, transport=transport,
+            shards=shards, transport=transport, speculation=speculation,
         )
 
     # --- workload intake --------------------------------------------------
@@ -490,18 +548,51 @@ class ShardedServingCluster:
                 self.messages_sent += 1
                 buffered[s] = []
 
+        router = self.router
+        spec_on = self.speculation and router.speculative
+        # The mirrored metrics table: one trajectory snapshot per
+        # instance (global order), refreshed by every round's replies
+        # and folded forward by every confirmed placement.
+        mirror: Optional[list] = None
+
         since_flush = 0
         for request in self._iter_dispatches(until):
             t = request.arrival_time
             ladder.append(t)
-            if self.router.needs_state(request):
+            if not router.needs_state(request):
+                idx = router.select_from_metrics(n, None, request)
+            elif (
+                mirror is not None
+                and all(router.snapshot_fresh(m, t) for m in mirror)
+            ):
+                # Epoch-batched speculative resolution: every mirror
+                # entry is provably exact at t, so this selection —
+                # replayed against the folding table in arrival order —
+                # is the single-process selection, with zero messages.
+                metrics = [router.snapshot_metric(m, t) for m in mirror]
+                idx = router.select_from_metrics(n, metrics, request)
+                self.speculation_hits += 1
+            else:
                 # Stateful round: every shard advances to t and
                 # reports metrics; selection happens here, in global
                 # instance order, with the exact single-process code.
+                # With speculation on, first take a speculative pick
+                # from the (stale) mirror for the round to validate.
+                spec_idx = None
+                if mirror is not None:
+                    preview = [router.snapshot_metric(m, t) for m in mirror]
+                    spec_idx = router.peek_from_metrics(n, preview, request)
+                kind = "snap" if spec_on else "pause"
                 for s in range(n_shards):
-                    flush(s)
-                    transport.send(s, ("pause", t, request, ladder_delta(s)))
-                    self.messages_sent += 1
+                    msgs = []
+                    if buffered[s]:
+                        msgs.append(("apply", buffered[s], ladder_delta(s)))
+                        buffered[s] = []
+                        msgs.append((kind, t, request, []))
+                    else:
+                        msgs.append((kind, t, request, ladder_delta(s)))
+                    transport.send_many(s, msgs)
+                    self.messages_sent += len(msgs)
                 replies = transport.gather(n_shards)
                 self.coordination_rounds += 1
                 by_shard = {}
@@ -511,13 +602,32 @@ class ShardedServingCluster:
                             f"shard protocol error: expected metrics, "
                             f"got {reply[0]!r}"
                         )
-                    by_shard[reply[1]] = reply[2]
-                metrics: list = []
+                    by_shard[reply[1]] = reply
+                metrics = []
+                snaps: list = []
                 for s in range(n_shards):
-                    metrics.extend(by_shard[s])
-                idx = self.router.select_from_metrics(n, metrics, request)
-            else:
-                idx = self.router.select_from_metrics(n, None, request)
+                    metrics.extend(by_shard[s][2])
+                    if spec_on:
+                        snaps.extend(by_shard[s][3])
+                if spec_on:
+                    mirror = snaps
+                idx = router.select_from_metrics(n, metrics, request)
+                if spec_idx is not None:
+                    # Validate the speculative pick against the
+                    # authoritative selection.  A miss is repaired
+                    # right here, before any shard-visible effect:
+                    # the request has not been delivered, so the
+                    # rollback is simply routing it to the
+                    # authoritative index instead.
+                    if spec_idx == idx:
+                        self.speculation_hits += 1
+                    else:
+                        self.speculation_misses += 1
+            # Every confirmed placement — speculative, round-resolved,
+            # or stateless — folds into the mirrored table so later
+            # speculative selections see it.
+            if mirror is not None:
+                router.fold_snapshot(mirror[idx], t, request)
             if self._retain_placements:
                 self.placements[request.req_id] = idx
             self._placement_counts[idx] += 1
@@ -587,6 +697,10 @@ class ShardedServingCluster:
             ttft_p99=total.ttft_p99,
             stall_total=total.stall_total,
             preemptions=total.preemptions,
+            coordination_rounds=self.coordination_rounds,
+            messages_sent=self.messages_sent,
+            speculation_hits=self.speculation_hits,
+            speculation_misses=self.speculation_misses,
         )
 
     def placement_counts(self) -> list:

@@ -407,6 +407,16 @@ class DecodeStream:
         self.keep_finished = system.stream_stats is None
         self.composer = system.composer
         self.last_token_time = 0.0
+        # The executor event currently in flight, as a picklable-free
+        # descriptor ``(kind, end_time, payload)`` with kind one of
+        # "prefill" (payload: the (request, chunk) entries),
+        # "decode" (payload: the batch), or "fused" (payload:
+        # (batch, k) for a k-iteration window).  Routers use it to
+        # take *trajectory snapshots* for speculative dispatch in the
+        # sharded plane (see Router.instance_snapshot): the descriptor
+        # names exactly which requests can finish at the next
+        # completion instant.  Only meaningful while ``system._busy``.
+        self.inflight = None
         # Vectorised batch plane (serving/batchstate.py): deliver each
         # decode batch's tokens through array ops instead of the
         # per-request scalar state machine.  Same parity contract as
@@ -432,6 +442,7 @@ class DecodeStream:
                                  tokens=result.tokens, batch=len(entries),
                                  duration=duration)
         system._busy = True
+        self.inflight = ("prefill", now + duration, entries)
         self.engine.call_at(
             now + duration,
             lambda: self.complete_prefill(result, entries, duration),
@@ -459,6 +470,7 @@ class DecodeStream:
         self.executor.commit(result)
         system._sample_timeline()
         system._busy = False
+        self.inflight = None
         system._kick()
 
     # --- decode path --------------------------------------------------
@@ -482,6 +494,7 @@ class DecodeStream:
             fused = self._plan_fused(batch, result, overhead, now, duration)
             if fused is not None:
                 times, steps, write_through = fused
+                self.inflight = ("fused", times[-1], (batch, len(times)))
                 self.engine.call_at(
                     times[-1],
                     lambda: self.complete_fused(
@@ -490,6 +503,7 @@ class DecodeStream:
                     label="decode-fused-done",
                 )
                 return
+        self.inflight = ("decode", now + duration, batch)
         self.engine.call_at(
             now + duration,
             lambda: self.complete_decode(result, batch),
@@ -669,6 +683,7 @@ class DecodeStream:
         self.fused_windows += 1
         self.fused_iterations += k
         system._busy = False
+        self.inflight = None
         system._kick()
 
     def complete_decode(self, result, batch: list) -> None:
@@ -726,6 +741,7 @@ class DecodeStream:
             self.executor.commit(result)
             system._sample_timeline()
             system._busy = False
+            self.inflight = None
             system._kick()
             return
         on_decode_token = self.kv.on_decode_token
@@ -746,6 +762,7 @@ class DecodeStream:
         self.executor.commit(result)
         system._sample_timeline()
         system._busy = False
+        self.inflight = None
         system._kick()
 
     # --- token delivery / completion ----------------------------------

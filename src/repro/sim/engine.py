@@ -214,11 +214,23 @@ class ScopedEngine:
         return event
 
     # --- scoped decision horizon ------------------------------------------
-    def next_event_time(self) -> Optional[float]:
+    def own_event_time(self) -> Optional[float]:
+        """Earliest live event scheduled *through this view*, ignoring
+        the external horizon.
+
+        The sharded plane's trajectory snapshots read this to learn the
+        one already-scheduled completion that can change an instance's
+        routing metric, independent of where the dispatch ladder
+        currently ends — extending the ladder (confirmed placements
+        arriving later) moves the external horizon but never this.
+        """
         own = self._own
         while own and (own[0].cancelled or own[0]._queue is None):
             heapq.heappop(own)
-        mine = own[0].time if own else None
+        return own[0].time if own else None
+
+    def next_event_time(self) -> Optional[float]:
+        mine = self.own_event_time()
         external = (
             self.external_horizon() if self.external_horizon is not None else None
         )

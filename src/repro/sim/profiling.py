@@ -56,6 +56,11 @@ _SUBSYSTEM_RULES = (
     ("executor", os.path.join("repro", "gpu", "")),
     ("buffer", os.path.join("repro", "client", "")),
     ("kv", os.path.join("repro", "memory", "")),
+    # The sharded cluster plane and its warm-pool plumbing, matched
+    # before the generic "serving" rule so coordination cost is
+    # attributed to sharding rather than smeared into serving.
+    ("sharding", os.path.join("repro", "serving", "shard.py")),
+    ("sharding", os.path.join("repro", "orchestration", "")),
     ("serving", os.path.join("repro", "serving", "")),
     ("engine", os.path.join("repro", "sim", "")),
     ("workload", os.path.join("repro", "workload", "")),

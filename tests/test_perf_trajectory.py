@@ -161,3 +161,48 @@ def test_shard_overhead_within_committed_gate():
         f"artifact was refreshed on a loaded machine — re-run the "
         f"harness and justify any real change in the PR."
     )
+
+
+def test_shard_speculation_block_holds_reduction_gate():
+    """Speculative dispatch must keep coordination rounds at least 5x
+    below the pause-round protocol on the committed soak figure."""
+    payload = json.loads(SHARD_BENCH_PATH.read_text())
+    spec = payload["speculation"]
+    assert spec["router"] == "least_loaded"
+    assert spec["coordination_rounds"] > 0
+    assert spec["coordination_rounds_speculation_off"] >= spec["coordination_rounds"]
+    assert spec["speculation_hits"] > 0
+    assert spec["reduction"] >= 5.0, (
+        f"recorded speculative-dispatch reduction {spec['reduction']:.1f}x "
+        f"fell below the 5x acceptance gate "
+        f"({spec['coordination_rounds_speculation_off']} -> "
+        f"{spec['coordination_rounds']} rounds). Re-run "
+        f"benchmarks/test_shard_scaling.py and justify any real change."
+    )
+
+
+def test_shard_rounds_not_regressed_vs_history_best():
+    """Coordination rounds are deterministic, so this is an exact guard:
+    the committed speculative figure may exceed the best (lowest) rounds
+    any prior PR recorded by at most ``ALLOWED_REGRESSION``.  A slide
+    hidden across several PRs still fails once it leaves the band."""
+    payload = json.loads(SHARD_BENCH_PATH.read_text())
+    history = payload.get("history", [])
+    assert history, "shard artifact carries no rounds/messages history"
+    for row in history:
+        assert row["coordination_rounds"] > 0
+        assert row["messages_sent"] > 0
+        assert "notes" in row
+    speculative = [
+        row["coordination_rounds"] for row in history if row["reduction"] > 1.0
+    ]
+    assert speculative, "history has no speculative-dispatch rows"
+    best = min(speculative)
+    current = payload["speculation"]["coordination_rounds"]
+    ceiling = (1.0 + ALLOWED_REGRESSION) * best
+    assert current <= ceiling, (
+        f"coordination rounds regressed: current {current} is more than "
+        f"{ALLOWED_REGRESSION:.0%} above the best history row ({best}, "
+        f"ceiling {ceiling:.0f}). If intentional, update the history in "
+        f"benchmarks/BENCH_shard.json and justify it in the PR."
+    )

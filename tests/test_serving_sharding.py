@@ -317,3 +317,164 @@ def test_soak_process_transport_parity():
         "cluster-soak-64x", scale=0.02, seed=0, shards=4, transport="process"
     )
     assert sharded == baseline
+
+
+# --- speculative dispatch ----------------------------------------------------
+#
+# The trajectory-snapshot mirror (Router.speculative) must change
+# nothing observable except the coordination counters: placements and
+# reports stay bit-identical with speculation on, off, and across the
+# classic cluster, while rounds collapse for stateful routers.
+
+def _sharded_spec(router="least_loaded", shards=2, speculation=True,
+                  n_requests=48):
+    cluster = ShardedServingCluster.homogeneous(
+        4, SchedulerRecipe("tokenflow"), router=router,
+        shards=shards, transport="inline", speculation=speculation,
+        mem_frac=0.02, max_batch=16,
+    )
+    cluster.submit(_requests(n_requests))
+    cluster.run()
+    return cluster
+
+
+def test_speculation_off_matches_on_bit_for_bit():
+    on = _sharded_spec(speculation=True)
+    off = _sharded_spec(speculation=False)
+    assert deep_fp(on, on.report()) == deep_fp(off, off.report())
+
+
+def test_speculation_off_reproduces_pause_round_counts():
+    """speculation=False pays one round per stateful dispatch — the
+    pre-speculation protocol, exactly."""
+    off = _sharded_spec(speculation=False)
+    # least_loaded needs state for every arrival.
+    assert off.coordination_rounds == len(_requests())
+    assert off.speculation_hits == 0
+    assert off.speculation_misses == 0
+
+
+def test_speculation_cuts_rounds():
+    on = _sharded_spec(speculation=True)
+    off = _sharded_spec(speculation=False)
+    assert on.coordination_rounds < off.coordination_rounds
+    assert on.messages_sent < off.messages_sent
+    # Every stateful dispatch except the very first (no mirror yet —
+    # nothing to speculate against) is accounted: resolved
+    # speculatively (hit), validated by a round (hit), or rolled back
+    # (miss).
+    assert (on.speculation_hits + on.speculation_misses
+            == off.coordination_rounds - 1)
+
+
+def test_speculation_counters_surface_in_cluster_report():
+    on = _sharded_spec(speculation=True)
+    report = on.report()
+    assert report.coordination_rounds == on.coordination_rounds
+    assert report.messages_sent == on.messages_sent
+    assert report.speculation_hits == on.speculation_hits
+    assert report.speculation_misses == on.speculation_misses
+    assert report.speculation_hits > 0
+    classic = _classic()
+    classic.submit(_requests())
+    classic.run()
+    classic_report = classic.report()
+    assert classic_report.coordination_rounds == 0
+    assert classic_report.speculation_hits == 0
+
+
+def test_speculation_non_speculative_router_unchanged():
+    """buffer_aware opts out of snapshots: speculation on/off are the
+    same protocol (every stateful dispatch pauses), same results."""
+    on = _sharded_spec(router="buffer_aware", speculation=True)
+    off = _sharded_spec(router="buffer_aware", speculation=False)
+    assert on.coordination_rounds == off.coordination_rounds
+    assert on.speculation_hits == 0
+    assert deep_fp(on, on.report()) == deep_fp(off, off.report())
+
+
+def test_speculation_process_transport_parity():
+    """Snapshots pickle across the worker boundary intact."""
+    baseline = _classic_fp(router="least_loaded")
+    cluster = _sharded(router="least_loaded", shards=2, transport="process")
+    cluster.submit(_requests())
+    cluster.run()
+    assert deep_fp(cluster, cluster.report()) == baseline
+    assert cluster.speculation_hits > 0
+
+
+def test_session_affinity_speculation_folds_sticky_hits():
+    """Sticky (stateless) placements must fold into the mirror too —
+    parity across on/off proves the folded trajectory stays exact."""
+    on = _sharded_spec(router="session_affinity", speculation=True)
+    off = _sharded_spec(router="session_affinity", speculation=False)
+    assert deep_fp(on, on.report()) == deep_fp(off, off.report())
+    assert on.coordination_rounds < off.coordination_rounds
+
+
+def test_speculation_spec_plumbing():
+    spec = get_scenario("cluster-burst-4x", scale=0.1, shards=2,
+                        speculation=False)
+    run = build_run(spec)
+    assert run.target.speculation is False
+    spec = get_scenario("cluster-burst-4x", scale=0.1, shards=2)
+    run = build_run(spec)
+    assert run.target.speculation is True
+
+
+@pytest.mark.slow
+def test_registry_speculation_off_parity_sweep():
+    """speculation=off × routers × scenarios: same fingerprints as the
+    default (speculation=on) sharded runs."""
+    for name, scale in sorted(CLUSTER_SCENARIOS.items()):
+        for router in ("least_loaded", "session_affinity"):
+            _, on_fp = run_registry(
+                name, scale=scale, seed=0, router=router, shards=2,
+                transport="inline",
+            )
+            spec = get_scenario(name, scale=scale, seed=0, router=router,
+                                shards=2, speculation=False)
+            run = build_run(spec)
+            run.target.transport = "inline"
+            report = run.execute()
+            assert deep_fp(run.target, report) == on_fp, (
+                f"{name} router={router}"
+            )
+
+
+@pytest.mark.slow
+def test_soak_least_loaded_speculation_process_parity():
+    """The acceptance workload: 64 replicas, least_loaded, 4 real
+    worker processes, speculation on — bit-identical to classic."""
+    _, baseline = run_registry(
+        "cluster-soak-64x", scale=0.02, seed=0, router="least_loaded"
+    )
+    target, sharded = run_registry(
+        "cluster-soak-64x", scale=0.02, seed=0, router="least_loaded",
+        shards=4, transport="process",
+    )
+    assert sharded == baseline
+    assert target.speculation_hits > 0
+
+
+# --- per-shard streaming telemetry (O(active) reports) -----------------------
+
+def test_shard_workers_retire_finished_into_sketches():
+    """Under feed with retain_per_request=False (the soak setting),
+    shard workers retire finished requests into QuantileSketch-backed
+    stats locally: the per-instance reports crossing the worker
+    boundary carry sketches and no per-request rows."""
+    spec = get_scenario("cluster-soak-64x", scale=0.02, seed=0,
+                        shards=2)
+    assert spec.retain_per_request is False
+    run = build_run(spec)
+    run.target.transport = "inline"
+    report = run.execute()  # stream-native: drives the feed path
+    assert report.n_finished > 0
+    for node in report.per_instance:
+        assert node.stream_stats is not None
+        assert node.per_request == []
+    # The placement map is the other O(total-requests) structure;
+    # streaming soaks drop it and keep only per-instance counters.
+    assert run.target.placements == {}
+    assert sum(run.target.placement_counts()) == report.n_requests

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import SimEngine
+from repro.sim.engine import ScopedEngine, SimEngine
 
 
 class TestScheduling:
@@ -105,3 +105,102 @@ class TestRun:
         engine.run()
         assert fired == [0, 1, 2, 3]
         assert engine.now() == 3.0
+
+
+class TestRunBefore:
+    """Edge cases of the conservative-window primitive (sharded plane)."""
+
+    def test_drains_strictly_before_horizon(self, engine):
+        fired = []
+        engine.call_at(1.0, lambda: fired.append(1.0))
+        engine.call_at(2.0, lambda: fired.append(2.0))
+        engine.call_at(3.0, lambda: fired.append(3.0))
+        engine.run_before(2.0)
+        assert fired == [1.0]
+        assert engine.now() == 2.0
+
+    def test_tied_timestamps_at_horizon_stay_pending(self, engine):
+        """Events AT the horizon instant are the next window's work:
+        dispatch-time router reads happen before any same-instant
+        instance event, so none of the ties may run."""
+        fired = []
+        for tag in ("a", "b", "c"):
+            engine.call_at(2.0, lambda tag=tag: fired.append(tag))
+        engine.run_before(2.0)
+        assert fired == []
+        assert engine.pending() == 3
+        # The follow-up drain runs the ties in scheduling order.
+        engine.run_before(2.5)
+        assert fired == ["a", "b", "c"]
+
+    def test_tied_timestamps_below_horizon_keep_order(self, engine):
+        fired = []
+        engine.call_at(1.0, lambda: fired.append("first"))
+        engine.call_at(1.0, lambda: fired.append("second"))
+        engine.call_at(1.0, lambda: fired.append("third"))
+        engine.run_before(1.5)
+        assert fired == ["first", "second", "third"]
+
+    def test_empty_window_advances_clock_only(self, engine):
+        engine.run_before(4.0)
+        assert engine.now() == 4.0
+        assert engine.events_processed == 0
+        # A later horizon keeps advancing; an identical one is a no-op.
+        engine.run_before(4.0)
+        assert engine.now() == 4.0
+        engine.run_before(7.0)
+        assert engine.now() == 7.0
+
+    def test_until_bounds_drained_events(self, engine):
+        seen = []
+        engine.call_at(1.0, lambda: seen.append(engine.run_until))
+        engine.run_before(2.0, until=10.0)
+        assert seen == [10.0]
+        assert engine.run_until is None  # restored after the drain
+
+
+class TestScopedEngine:
+    def _scoped(self, horizon_holder):
+        base = SimEngine()
+        scoped = ScopedEngine(base, lambda: horizon_holder[0])
+        return base, scoped
+
+    def test_next_event_merges_external_horizon(self):
+        horizon = [5.0]
+        base, scoped = self._scoped(horizon)
+        scoped.call_at(7.0, lambda: None)
+        assert scoped.own_event_time() == 7.0
+        assert scoped.next_event_time() == 5.0
+
+    def test_horizon_extension_under_confirmed_placements(self):
+        """Extending the dispatch ladder (confirmed placements landing
+        later) moves the merged horizon but never the own-event view —
+        trajectory snapshots stay valid across ladder growth."""
+        horizon = [2.0]
+        base, scoped = self._scoped(horizon)
+        scoped.call_at(4.0, lambda: None)
+        assert scoped.next_event_time() == 2.0
+        horizon[0] = 3.0   # ladder extended past the old horizon
+        assert scoped.next_event_time() == 3.0
+        assert scoped.own_event_time() == 4.0
+        horizon[0] = None  # ladder exhausted: own events take over
+        assert scoped.next_event_time() == 4.0
+        assert scoped.own_event_time() == 4.0
+
+    def test_own_event_time_skips_dead_entries(self):
+        horizon = [None]
+        base, scoped = self._scoped(horizon)
+        event = scoped.call_at(1.0, lambda: None)
+        scoped.call_at(2.0, lambda: None)
+        event.cancel()
+        assert scoped.own_event_time() == 2.0
+        base.run()
+        assert scoped.own_event_time() is None
+
+    def test_own_event_time_after_partial_drain(self):
+        horizon = [None]
+        base, scoped = self._scoped(horizon)
+        scoped.call_at(1.0, lambda: None)
+        scoped.call_at(3.0, lambda: None)
+        base.run_before(2.0)
+        assert scoped.own_event_time() == 3.0
